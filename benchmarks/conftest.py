@@ -1,0 +1,34 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each benchmark runs its experiment exactly once (``pedantic`` with one
+round — the experiments measure *simulated* time internally; the
+pytest-benchmark timing is just the wall cost of regenerating the
+artifact), prints the paper-style table, and archives it under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def archive():
+    """Save an experiment table to benchmarks/results/<eid>.txt."""
+
+    def _save(experiment_id, table_text):
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, "%s.txt" % experiment_id)
+        with open(path, "w") as f:
+            f.write(table_text + "\n")
+        print()
+        print(table_text)
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,29 @@
+"""A1 (ablation) — leader-crash recovery gap vs. failure-detection budget.
+
+Not a single paper figure but the design trade-off the paper's timeout
+parameters encode: Zab detects a dead leader after ``sync_limit`` ticks
+of silence, then pays election + discovery + synchronisation.  Expected
+shape: the write-unavailability gap grows roughly linearly with the tick
+period, with a positive intercept (the election/sync constant), and
+stays within a small multiple of the detection budget.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import a1_recovery_time
+
+
+def test_a1_recovery_time(benchmark, archive):
+    rows, table, _extras = run_once(benchmark, a1_recovery_time)
+    archive("a1", table)
+
+    gaps = [row["mean_gap_ms"] for row in rows]
+    # Larger ticks mean slower detection: gap is increasing.
+    assert all(a < b for a, b in zip(gaps, gaps[1:])), gaps
+    for row in rows:
+        # Never faster than the detection budget...
+        assert row["mean_gap_ms"] >= row["detection_budget_ms"] * 0.8
+        # ...and within a small multiple of it (election+sync overhead).
+        assert row["max_gap_ms"] < row["detection_budget_ms"] * 6 + 600
+    # A 10x larger tick costs roughly (not exactly) 10x the gap.
+    assert gaps[-1] > gaps[0] * 3

@@ -1,0 +1,27 @@
+"""A2 (ablation) — growing the ensemble with observers instead of voters.
+
+ZooKeeper's observers (non-voting replicas) are the system's answer to
+"more replicas without slower writes": the committed stream reaches
+every replica, but the commit quorum — and thus the acknowledgements a
+write waits for — stays that of the small voter set.  Expected shape: at
+equal total replica count (7), the observer configuration commits with
+p50 close to the 3-voter ensemble and visibly below the 7-voter one.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import a2_observers
+
+
+def test_a2_observers(benchmark, archive):
+    rows, table, _extras = run_once(benchmark, a2_observers)
+    archive("a2", table)
+
+    p50 = {row["config"]: row["p50_ms"] for row in rows}
+    # Quorum size drives latency: 7 replicas as 3v+4o stay close to the
+    # plain 3-voter ensemble...
+    assert p50["3 voters + 4 observers"] < p50["3 voters"] * 1.6
+    # ...and beat the 7-voter ensemble of the same replica count.
+    assert p50["3 voters + 4 observers"] < p50["7 voters"]
+    # More voters monotonically costs write latency.
+    assert p50["3 voters"] <= p50["5 voters"] <= p50["7 voters"]

@@ -1,0 +1,29 @@
+"""A3 (ablation) — saturated throughput vs. operation size.
+
+The complement of E1's ensemble-size sweep: with the leader's NIC as
+the bottleneck, ops/s falls inversely with operation size while goodput
+(bytes of payload committed per second) stays roughly constant —
+rising slightly with size as per-message headers amortise.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import a3_op_size
+
+
+def test_a3_op_size(benchmark, archive):
+    rows, table, _extras = run_once(benchmark, a3_op_size)
+    archive("a3", table)
+
+    tputs = [row["throughput"] for row in rows]
+    assert all(a > b for a, b in zip(tputs, tputs[1:]))  # ops/s falls
+    efficiencies = [row["wire_efficiency"] for row in rows]
+    # Wire efficiency improves with op size (headers amortise) ...
+    assert all(
+        a <= b * 1.05 for a, b in zip(efficiencies, efficiencies[1:])
+    )
+    # ... and payload goodput stays within a sane band throughout
+    # (headers dominate tiny ops; the top end can exceed 1.0 by a few
+    # percent from in-flight proposals straddling the measurement
+    # window boundary).
+    assert all(0.25 <= e <= 1.15 for e in efficiencies), efficiencies

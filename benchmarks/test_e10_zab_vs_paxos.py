@@ -1,0 +1,35 @@
+"""E10 — Zab vs the Paxos baseline under identical conditions.
+
+Paper artifact: the overall comparison the paper argues qualitatively —
+Paxos can only match Zab's throughput by pipelining, but pipelined Paxos
+forfeits primary order across leader changes (E4).  Expected shape:
+pipelined Zab ≈ pipelined Paxos ≫ either system at one outstanding
+proposal; the only PO-safe high-throughput point is Zab's.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import e10_zab_vs_paxos
+
+
+def test_e10_zab_vs_paxos(benchmark, archive):
+    rows, table, _extras = run_once(benchmark, e10_zab_vs_paxos)
+    archive("e10", table)
+
+    tput = {row["system"]: row["throughput"] for row in rows}
+    safe = {row["system"]: row["primary_order_safe"] for row in rows}
+
+    # Pipelining dominates for both systems.
+    assert tput["zab, 64 outstanding"] > tput["zab, 1 outstanding"] * 3
+    assert tput["paxos, 64 outstanding"] > tput["paxos, 1 outstanding"] * 2.5
+
+    # At equal window, the two protocols are in the same ballpark (both
+    # are one round trip + commit notification in steady state).
+    ratio = tput["zab, 64 outstanding"] / tput["paxos, 64 outstanding"]
+    assert 0.5 < ratio < 2.5, ratio
+
+    # But the only PO-safe configurations are Zab's (any window) and
+    # Paxos at window 1 — which costs most of the throughput.
+    assert safe["zab, 64 outstanding"]
+    assert not safe["paxos, 64 outstanding"]
+    assert tput["zab, 64 outstanding"] > tput["paxos, 1 outstanding"] * 3

@@ -1,0 +1,32 @@
+"""E1 — saturated broadcast throughput vs. ensemble size.
+
+Paper artifact: the headline throughput figure (1 KiB operations,
+saturated system, ensembles of 3..13 servers).  Expected shape: the
+leader's egress link is the bottleneck, so throughput decays roughly as
+B/(n-1): each extra pair of followers costs proportional bandwidth.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import e1_throughput_vs_servers
+
+
+def test_e1_throughput_vs_servers(benchmark, archive):
+    rows, table, _extras = run_once(
+        benchmark, lambda: e1_throughput_vs_servers(sizes=(3, 5, 7, 9, 11, 13))
+    )
+    archive("e1", table)
+
+    # Monotonically decreasing in ensemble size.
+    throughputs = [row["throughput"] for row in rows]
+    assert all(
+        earlier > later
+        for earlier, later in zip(throughputs, throughputs[1:])
+    )
+    # Close to the analytic net-bound B/((n-1) * op_size) at every point.
+    for row in rows:
+        assert 0.7 <= row["efficiency"] <= 1.05, row
+    # The 3-server ensemble beats the 13-server one by roughly 6x
+    # ((13-1)/(3-1)), as the leader fans out to 6x as many followers.
+    ratio = throughputs[0] / throughputs[-1]
+    assert 4.0 <= ratio <= 8.0, ratio

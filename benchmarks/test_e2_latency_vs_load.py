@@ -1,0 +1,31 @@
+"""E2 — operation latency vs. offered load.
+
+Paper artifact: the latency figure.  Expected shape: latency is flat and
+small while the system is underloaded, then grows sharply once the
+offered rate crosses the service capacity (the saturation knee), with
+achieved throughput plateauing at that capacity.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import e2_latency_vs_load
+
+
+def test_e2_latency_vs_load(benchmark, archive):
+    rows, table, _extras = run_once(
+        benchmark,
+        lambda: e2_latency_vs_load(
+            rates=(500, 1000, 2000, 4000, 8000, 12000)
+        ),
+    )
+    archive("e2", table)
+
+    # Below the knee: throughput tracks offered load.
+    for row in rows[:3]:
+        assert row["throughput"] >= row["offered_rate"] * 0.9, row
+    # Above the knee: throughput saturates well below the offered rate.
+    assert rows[-1]["throughput"] < rows[-1]["offered_rate"] * 0.9
+    # Latency at overload is at least 5x the unloaded latency.
+    assert rows[-1]["p50_ms"] > rows[0]["p50_ms"] * 5
+    # Unloaded latency stays in the low single-digit ms for this network.
+    assert rows[0]["p50_ms"] < 5.0

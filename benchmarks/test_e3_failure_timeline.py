@@ -1,0 +1,43 @@
+"""E3 — throughput over time with injected failures.
+
+Paper artifact: the throughput-timeline figure with crash markers.
+Expected shape: a follower crash barely dents throughput (the quorum
+shrinks but the pipeline keeps flowing); a leader crash opens a visible
+service gap — election plus synchronisation — before throughput returns
+to baseline.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import e3_failure_timeline
+
+
+def test_e3_failure_timeline(benchmark, archive):
+    rows, table, extras = run_once(benchmark, e3_failure_timeline)
+    archive("e3", table)
+
+    phases = {row["phase"]: row["ops_per_s"] for row in rows}
+    baseline = phases["baseline"]
+    assert baseline > 0
+
+    # Follower crash: throughput within 15% of baseline.
+    assert phases["follower down"] > baseline * 0.85
+
+    # Leader crash: a real dip in the election window...
+    series = dict(extras["series"])
+    crash_window = [
+        rate for t, rate in extras["series"]
+        if any(
+            abs(t - event_time) < 0.8
+            for event_time, text in extras["events"]
+            if "leader" in text
+        )
+    ]
+    assert min(crash_window) < baseline * 0.3, crash_window
+
+    # ... and full recovery afterwards.
+    assert phases["recovered"] > baseline * 0.85
+
+    # The whole faulty run still satisfies every broadcast property.
+    assert extras["report"].ok, extras["report"].violations[:5]
+    assert series  # non-empty timeline

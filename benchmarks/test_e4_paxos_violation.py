@@ -1,0 +1,43 @@
+"""E4 — the paper's Paxos run violating primary order, made executable.
+
+Paper artifact: the analytical figure showing a Paxos execution with two
+outstanding proposals across primary changes committing [C, B] where B
+causally depends on the never-committed A.  Expected outcome: the PO
+checker convicts the Paxos run of local primary order, global primary
+order, and primary integrity violations (while total order and agreement
+hold — Paxos *is* a correct atomic broadcast), and acquits Zab under the
+identical crash/partition pattern.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import e4_paxos_violation
+
+
+def test_e4_paxos_violation(benchmark, archive):
+    rows, table, extras = run_once(benchmark, e4_paxos_violation)
+    archive("e4", table)
+
+    paxos_row = rows[0]
+    zab_row = rows[1]
+
+    assert set(paxos_row["violations"]) == {
+        "local_primary_order",
+        "global_primary_order",
+        "primary_integrity",
+    }
+    assert zab_row["violations"] == []
+
+    # The Paxos run materialised the dependent delta without its
+    # dependency: A == 2 with "put A 1" never delivered.
+    for state in paxos_row["final_state"].values():
+        assert state.get("A") == 2
+
+    # Zab under the same pattern: the old primary's uncommitted A-chain
+    # is truncated; only C survives.
+    for state in zab_row["final_state"].values():
+        assert "A" not in state
+        assert state.get("C") == 100
+
+    assert not extras["paxos_report"].ok
+    assert extras["zab_report"].ok

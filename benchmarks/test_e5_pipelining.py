@@ -1,0 +1,31 @@
+"""E5 — throughput vs. number of outstanding proposals.
+
+Paper artifact: Zab's central design argument — supporting *multiple
+outstanding transactions* is what buys throughput.  Expected shape:
+throughput scales nearly linearly with the window while the pipeline is
+RTT-bound, then plateaus at the leader's NIC capacity; a window of 1
+(the conservative sequencer Paxos would need for primary order) is far
+below the plateau.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import e5_pipelining
+
+
+def test_e5_pipelining(benchmark, archive):
+    rows, table, _extras = run_once(benchmark, e5_pipelining)
+    archive("e5", table)
+
+    by_window = {row["outstanding"]: row["throughput"] for row in rows}
+    # Non-decreasing (within measurement slack) in window size.
+    windows = sorted(by_window)
+    for a, b in zip(windows, windows[1:]):
+        assert by_window[b] >= by_window[a] * 0.9, (a, b, by_window)
+    # Deep pipelining beats one-at-a-time by a wide margin (the exact
+    # ratio is capped by where the NIC saturates: ~2.8x at this B/RTT).
+    assert by_window[64] > by_window[1] * 2.5
+    # Early scaling is near-linear: 2 outstanding ≈ 2x of 1.
+    assert by_window[2] > by_window[1] * 1.8
+    # The plateau is the NIC bound, not the RTT: windows 8..64 are flat.
+    assert by_window[64] < by_window[8] * 1.2

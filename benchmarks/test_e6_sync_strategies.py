@@ -1,0 +1,54 @@
+"""E6 — recovery synchronisation cost by strategy (DIFF / SNAP / TRUNC).
+
+Paper artifact: the synchronisation design discussion (Phase 2).
+Expected shape: DIFF bytes grow linearly with follower lag; beyond the
+snap threshold, shipping a snapshot is cheaper than replaying tens of
+thousands of transactions; a follower *ahead* of the committed horizon
+is truncated for free.  The end-to-end companion (E6b) shows a forced
+SNAP resync completing at a cost comparable to DIFF for the same lag.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import e6_end_to_end_resync, e6_sync_strategies
+
+
+def test_e6_sync_plan_costs(benchmark, archive):
+    rows, table, _extras = run_once(benchmark, e6_sync_strategies)
+    archive("e6", table)
+
+    by_lag = {row["lag_txns"]: row for row in rows}
+    # Small lags use DIFF with exactly linear cost.
+    assert by_lag[10]["mode"] == "diff"
+    assert by_lag[10]["bytes_shipped"] == by_lag[10]["diff_bytes_would_be"]
+    assert by_lag[200]["mode"] == "diff"
+    # Large lags switch to SNAP and ship far less than the full diff.
+    assert by_lag[20000]["mode"] == "snap"
+    assert (
+        by_lag[20000]["bytes_shipped"]
+        < by_lag[20000]["diff_bytes_would_be"] / 10
+    )
+    # SNAP cost is flat in lag (it ships live state, not history).
+    assert by_lag[2000]["bytes_shipped"] == by_lag[20000]["bytes_shipped"]
+    # The ahead-of-commit follower is truncated, zero bytes shipped.
+    assert by_lag[-5]["mode"] == "trunc"
+    assert by_lag[-5]["bytes_shipped"] == 0
+
+
+def test_e6b_end_to_end_resync(benchmark, archive):
+    rows, table, _extras = run_once(benchmark, e6_end_to_end_resync)
+    archive("e6b", table)
+
+    by_mode = {row["mode"]: row for row in rows}
+    # History ≫ live state: the snapshot resync ships far less and
+    # finishes much faster than replaying the full diff.
+    assert (
+        by_mode["SNAP"]["sync_megabytes"]
+        < by_mode["DIFF"]["sync_megabytes"] / 5
+    )
+    assert (
+        by_mode["SNAP"]["resync_seconds"]
+        < by_mode["DIFF"]["resync_seconds"]
+    )
+    # Both still complete promptly in absolute terms.
+    assert by_mode["DIFF"]["resync_seconds"] < 5.0

@@ -1,0 +1,32 @@
+"""E7 — log device configuration ablation.
+
+Paper artifact: the testbed note that each server used a *dedicated log
+device*, which the authors call essential for performance.  Expected
+shape: with no disk model the system is purely network-bound (upper
+bound); a dedicated device with group commit lands close to it; a
+shared, contended device and a slow-fsync device fall visibly behind.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import e7_log_device
+
+
+def test_e7_log_device(benchmark, archive):
+    rows, table, _extras = run_once(benchmark, e7_log_device)
+    archive("e7", table)
+
+    by_config = {row["config"]: row["throughput"] for row in rows}
+    net_only = by_config["network only (no disk)"]
+    dedicated = by_config["dedicated log device"]
+    shared = by_config["shared device (contended)"]
+    slow = by_config["dedicated, slow fsync"]
+
+    # Network-only is the ceiling; group commit keeps a dedicated fast
+    # device within ~30% of it.
+    assert dedicated <= net_only * 1.05
+    assert dedicated > net_only * 0.5
+    # Contention hurts relative to a dedicated device.
+    assert shared <= dedicated * 1.02
+    # A 10x slower fsync costs real throughput even with group commit.
+    assert slow < dedicated * 0.9

@@ -1,0 +1,25 @@
+"""E8 — latency percentiles by ensemble size at moderate load.
+
+Paper artifact: the latency table.  Expected shape: median latency grows
+with ensemble size (the leader's NIC serialises proposals to more
+followers before a quorum can answer), and tails stay bounded — no
+ensemble exhibits runaway p99 at moderate load.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import e8_latency_percentiles
+
+
+def test_e8_latency_percentiles(benchmark, archive):
+    rows, table, _extras = run_once(benchmark, e8_latency_percentiles)
+    archive("e8", table)
+
+    medians = [row["p50_ms"] for row in rows]
+    # Larger ensembles have equal-or-higher medians.
+    assert all(a <= b * 1.1 for a, b in zip(medians, medians[1:])), medians
+    for row in rows:
+        # Percentile ordering is coherent.
+        assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+        # Tails stay bounded at moderate load.
+        assert row["p99_ms"] < row["p50_ms"] * 10

@@ -1,0 +1,32 @@
+"""E9 — group-commit ablation on a disk-bound configuration.
+
+Paper artifact: the implementation discussion — a proposal is
+acknowledged only after it is fsynced to the log, and ZooKeeper
+amortises that fsync across all proposals in flight.  Expected shape:
+with group commit the disk barely matters (throughput stays near the
+network bound); without it, throughput collapses to roughly
+``1 / fsync_latency`` — the disk becomes a serial bottleneck.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import e9_group_commit
+
+
+def test_e9_group_commit(benchmark, archive):
+    rows, table, _extras = run_once(benchmark, e9_group_commit)
+    archive("e9", table)
+
+    def tput(fsync_ms, on):
+        return next(
+            row["throughput"] for row in rows
+            if row["fsync_ms"] == fsync_ms and row["group_commit"] is on
+        )
+
+    # With coalescing, a 4x slower fsync costs little.
+    assert tput(2.0, True) > tput(0.5, True) * 0.6
+    # Without coalescing, throughput is pinned near the 1/fsync bound.
+    assert tput(0.5, False) < 1 / 0.0005 * 1.4
+    assert tput(2.0, False) < 1 / 0.002 * 1.4
+    # Group commit is worth an order of magnitude at 2ms fsync.
+    assert tput(2.0, True) > tput(2.0, False) * 5

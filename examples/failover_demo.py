@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Throughput timeline through crashes — the E3 experiment, narrated.
+
+Drives a 5-peer ensemble with an open-loop client load while a fault
+schedule crashes a follower, then the leader, recovering each.  Prints
+the throughput timeline as an ASCII sparkline with the fault events
+marked, the same series the paper's failure figure plots.
+
+Run with::
+
+    python examples/failover_demo.py
+"""
+
+from repro.bench.experiments import e3_failure_timeline
+
+
+def main():
+    print("running a 10-second (simulated) open-loop load with a fault")
+    print("schedule: crash follower @2s, recover @4s, crash leader @6s,")
+    print("recover @8s ...\n")
+    rows, table, extras = e3_failure_timeline()
+    print(table)
+    print("\nfault events:")
+    for time, text in extras["events"]:
+        print("  t=%.2fs  %s" % (time, text))
+    print("\nreading the shape:")
+    print("  - the follower crash leaves throughput essentially intact")
+    print("    (a quorum of 4/5 keeps the pipeline flowing);")
+    print("  - the leader crash opens a visible gap: detection (~0.2s),")
+    print("    election, discovery, synchronisation — then full recovery;")
+    print("  - the whole faulty run still passes all six PO broadcast")
+    print("    properties: %s" % extras["report"])
+    assert extras["report"].ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""A distributed lock service on the replicated data tree.
+
+This is the workload ZooKeeper's introduction motivates: clients acquire
+a lock by creating an *ephemeral sequential* znode under ``/locks`` and
+hold it while their node has the smallest sequence number.  Ephemeral
+nodes vanish when their session closes, so a crashed client can never
+hold a lock forever — the broadcast layer turns the session close into a
+deterministic delta that removes its nodes on every replica.
+
+Run with::
+
+    python examples/lock_service.py
+"""
+
+from repro.app import DataTreeStateMachine
+from repro.harness import Cluster
+
+
+class LockClient:
+    """One lock-service user, driven entirely in simulated time."""
+
+    def __init__(self, cluster, name):
+        self.cluster = cluster
+        self.name = name
+        self.session = "session-%s" % name
+        self.my_node = None
+        self.held = False
+
+    def open_session(self):
+        self.cluster.submit_and_wait(
+            ("create_session", self.session, 10.0)
+        )
+
+    def contend(self):
+        """Create our ephemeral-sequential entry under /locks."""
+        path, _ = self.cluster.submit_and_wait(
+            ("create", "/locks/contender-", self.name.encode(), "es",
+             self.session)
+        )
+        self.my_node = path
+        return path
+
+    def check_holder(self):
+        """We hold the lock iff our node sorts first among contenders."""
+        leader = self.cluster.leader()
+        children = leader.sm.read(("children", "/locks"))
+        self.held = bool(children) and self.my_node.endswith(children[0])
+        return self.held
+
+    def crash_session(self):
+        """Simulate this client dying: the service expires its session."""
+        self.cluster.submit_and_wait(("close_session", self.session))
+        self.my_node = None
+        self.held = False
+
+
+def main():
+    cluster = Cluster(
+        n_voters=3, seed=7, app_factory=DataTreeStateMachine
+    ).start()
+    cluster.run_until_stable(timeout=30)
+    cluster.submit_and_wait(("create", "/locks", b"", "", None))
+    print("lock root created; leader is peer %d"
+          % cluster.leader().peer_id)
+
+    alice = LockClient(cluster, "alice")
+    bob = LockClient(cluster, "bob")
+    carol = LockClient(cluster, "carol")
+    for client in (alice, bob, carol):
+        client.open_session()
+        node = client.contend()
+        print("%s contends with %s" % (client.name, node))
+
+    for client in (alice, bob, carol):
+        client.check_holder()
+    holder = next(c for c in (alice, bob, carol) if c.held)
+    print("\nlock holder: %s (smallest sequence number wins)"
+          % holder.name)
+    assert holder is alice
+
+    print("\n%s's process dies; its session closes ..." % holder.name)
+    holder.crash_session()
+    cluster.run(0.5)
+    for client in (bob, carol):
+        client.check_holder()
+    new_holder = next(c for c in (bob, carol) if c.held)
+    print("lock automatically passed to: %s" % new_holder.name)
+    assert new_holder is bob
+
+    leader = cluster.leader()
+    print("\nremaining contenders:",
+          leader.sm.read(("children", "/locks")))
+
+    print("\nsurviving a leader crash while the lock is held ...")
+    cluster.crash(leader.peer_id)
+    cluster.run_until_stable(timeout=30)
+    assert cluster.leader().sm.read(("children", "/locks"))
+    for client in (bob, carol):
+        client.check_holder()
+    print("after failover the holder is still: %s"
+          % next(c for c in (bob, carol) if c.held).name)
+
+    report = cluster.check_properties()
+    print("\nbroadcast properties:", report)
+    assert report.ok
+
+
+if __name__ == "__main__":
+    main()

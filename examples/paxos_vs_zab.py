@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""The paper's argument, executed: why primary-backup needs Zab.
+
+Reproduces the counter-example run from the paper (Section on multiple
+outstanding transactions): a primary-backup scheme layered on plain
+multi-Paxos with two outstanding proposals commits a transaction whose
+causal dependency was never committed, corrupting replica state.  The
+identical crash/partition pattern under Zab truncates the dead primary's
+uncommitted tail and stays consistent.
+
+Run with::
+
+    python examples/paxos_vs_zab.py
+"""
+
+from repro.bench.experiments import e4_paxos_violation
+
+
+def main():
+    print(__doc__)
+    rows, table, extras = e4_paxos_violation()
+    print(table)
+
+    paxos, zab = rows
+    print("\n--- Paxos run ---")
+    print("final replica state:", paxos["final_state"])
+    print("the incr's delta ('set A 2') committed although the put it")
+    print("depends on never did: a lost update, visible to clients.")
+    for violation in extras["paxos_report"].violations:
+        print("  *", violation)
+
+    print("\n--- Zab run, same crash pattern ---")
+    print("final replica state:", zab["final_state"])
+    print("the dead primary's uncommitted A-chain was truncated during")
+    print("synchronisation; every replica agrees and no dependency was")
+    print("broken.  checker:", extras["zab_report"])
+
+    assert not extras["paxos_report"].ok
+    assert extras["zab_report"].ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,348 @@
+"""A ZooKeeper-style hierarchical data tree.
+
+This is the primary-backup application ZooKeeper itself runs on Zab: a
+tree of *znodes* with versioned data, ephemeral nodes tied to client
+sessions, sequential nodes whose names embed a parent-assigned counter,
+and watches.
+
+The primary-backup split is visible throughout:
+
+- the **primary** resolves non-determinism in :meth:`prepare` — it picks
+  the concrete name of a sequential node, checks versions, and expands a
+  ``close_session`` into the state it affects — producing a delta that is
+  deterministic to apply;
+- **replicas** apply deltas blindly in delivery order;
+- **watches** are replica-local (they fire from :meth:`apply` through the
+  optional ``listener``) and are never part of replicated state, exactly
+  as in ZooKeeper.
+
+Write operations (tuples):
+    ("create", path, data, flags, session_id)   flags ⊆ {"e", "s"}
+    ("set", path, data, expected_version)       expected_version -1 = any
+    ("delete", path, expected_version)
+    ("create_session", session_id, timeout)
+    ("close_session", session_id)
+    ("multi", [write_op, ...])                  all-or-nothing batch
+Read operations:
+    ("get", path) ("exists", path) ("children", path) ("stat", path)
+    ("sessions",)
+
+``multi`` is ZooKeeper's atomic transaction: the primary resolves every
+sub-operation against a speculative copy of the tree (later sub-ops see
+the effects of earlier ones), and if *any* sub-op fails the whole batch
+resolves to a single failure delta — replicas never see partial effects.
+"""
+
+from repro.app.statemachine import StateMachine
+
+_READS = frozenset(["get", "exists", "children", "stat", "sessions"])
+
+
+class ZNode:
+    """One tree node."""
+
+    __slots__ = ("data", "version", "cversion", "children",
+                 "ephemeral_owner")
+
+    def __init__(self, data=b"", ephemeral_owner=None):
+        self.data = data
+        self.version = 0
+        self.cversion = 0       # bumped on child create/delete; feeds
+        self.children = {}      # sequential-node numbering
+        self.ephemeral_owner = ephemeral_owner
+
+    def stat(self):
+        return {
+            "version": self.version,
+            "cversion": self.cversion,
+            "num_children": len(self.children),
+            "ephemeral_owner": self.ephemeral_owner,
+            "data_length": len(self.data),
+        }
+
+
+def _split(path):
+    if not path.startswith("/"):
+        raise ValueError("paths must be absolute: %r" % path)
+    if path == "/":
+        return []
+    return path.strip("/").split("/")
+
+
+def _parent_path(path):
+    parts = _split(path)
+    if not parts:
+        return None
+    return "/" + "/".join(parts[:-1]) if len(parts) > 1 else "/"
+
+
+class DataTreeStateMachine(StateMachine):
+    """The replicated tree plus session table."""
+
+    def __init__(self):
+        self.root = ZNode()
+        self.sessions = {}       # session_id -> timeout
+        self.applied_count = 0
+        self.listener = None     # callable(event, path) — watches hook
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+
+    def _lookup(self, path):
+        node = self.root
+        for part in _split(path):
+            node = node.children.get(part)
+            if node is None:
+                return None
+        return node
+
+    # ------------------------------------------------------------------
+    # Primary side: resolve ops into deterministic deltas
+    # ------------------------------------------------------------------
+
+    def prepare(self, op):
+        kind = op[0]
+        if kind == "multi":
+            return self._prepare_multi(op[1])
+        if kind == "create":
+            return self._prepare_create(op)
+        if kind == "set":
+            _, path, data, expected = op
+            node = self._lookup(path)
+            if node is None:
+                return ("fail", path, "no node")
+            if expected != -1 and node.version != expected:
+                return ("fail", path, "bad version")
+            return ("setdata", path, data, node.version + 1)
+        if kind == "delete":
+            _, path, expected = op
+            node = self._lookup(path)
+            if node is None:
+                return ("fail", path, "no node")
+            if expected != -1 and node.version != expected:
+                return ("fail", path, "bad version")
+            if node.children:
+                return ("fail", path, "not empty")
+            return ("remove", path)
+        if kind == "create_session":
+            _, session_id, timeout = op
+            return ("addsession", session_id, timeout)
+        if kind == "close_session":
+            _, session_id = op
+            return ("endsession", session_id)
+        raise ValueError("unknown write op: %r" % (op,))
+
+    def _prepare_multi(self, subops):
+        """Resolve an atomic batch against a speculative tree copy."""
+        scratch = DataTreeStateMachine()
+        blob, _nbytes = self.serialize()
+        scratch.restore(blob)
+        deltas = []
+        for index, subop in enumerate(subops):
+            if subop[0] == "multi":
+                return ("fail", "multi", "nested multi not allowed")
+            delta = scratch.prepare(subop)
+            if delta[0] == "fail":
+                return (
+                    "fail",
+                    delta[1],
+                    "multi op %d aborted: %s" % (index, delta[2]),
+                )
+            scratch.apply(delta)
+            deltas.append(delta)
+        return ("multibody", deltas)
+
+    def _prepare_create(self, op):
+        _, path, data, flags, session_id = op
+        parent_path = _parent_path(path)
+        if parent_path is None:
+            return ("fail", path, "cannot create root")
+        parent = self._lookup(parent_path)
+        if parent is None:
+            return ("fail", path, "no parent")
+        if parent.ephemeral_owner is not None:
+            return ("fail", path, "parent is ephemeral")
+        if "s" in flags:
+            # The primary assigns the concrete sequence number.
+            path = "%s%010d" % (path, parent.cversion)
+        if self._lookup(path) is not None:
+            return ("fail", path, "node exists")
+        owner = None
+        if "e" in flags:
+            if session_id not in self.sessions:
+                return ("fail", path, "unknown session")
+            owner = session_id
+        return ("add", path, data, owner)
+
+    # ------------------------------------------------------------------
+    # Replica side: apply deltas
+    # ------------------------------------------------------------------
+
+    def apply(self, body):
+        self.applied_count += 1
+        if body[0] == "multibody":
+            # Every sub-delta was validated at prepare time against the
+            # exact state it will apply to; atomicity holds because the
+            # whole list is one transaction.
+            return [self._apply_sub(delta) for delta in body[1]]
+        return self._apply_sub(body)
+
+    def _apply_sub(self, body):
+        kind = body[0]
+        if kind == "add":
+            return self._apply_add(body)
+        if kind == "setdata":
+            _, path, data, new_version = body
+            node = self._lookup(path)
+            if node is None:
+                return ("error", "no node")
+            node.data = data
+            node.version = new_version
+            self._notify("changed", path)
+            return path
+        if kind == "remove":
+            _, path = body
+            return self._apply_remove(path)
+        if kind == "addsession":
+            _, session_id, timeout = body
+            self.sessions[session_id] = timeout
+            return session_id
+        if kind == "endsession":
+            _, session_id = body
+            self.sessions.pop(session_id, None)
+            for path in self._ephemerals_of(session_id):
+                self._apply_remove(path)
+            return session_id
+        if kind == "fail":
+            _, path, reason = body
+            return ("error", reason)
+        raise ValueError("unknown delta: %r" % (body,))
+
+    def _apply_add(self, body):
+        _, path, data, owner = body
+        parts = _split(path)
+        parent = self.root
+        for part in parts[:-1]:
+            parent = parent.children.get(part)
+            if parent is None:
+                return ("error", "no parent")
+        name = parts[-1]
+        if name in parent.children:
+            return ("error", "node exists")
+        parent.children[name] = ZNode(data, ephemeral_owner=owner)
+        parent.cversion += 1
+        self._notify("created", path)
+        self._notify("child", _parent_path(path))
+        return path
+
+    def _apply_remove(self, path):
+        parts = _split(path)
+        parent = self.root
+        for part in parts[:-1]:
+            parent = parent.children.get(part)
+            if parent is None:
+                return ("error", "no parent")
+        removed = parent.children.pop(parts[-1], None)
+        if removed is None:
+            return ("error", "no node")
+        parent.cversion += 1
+        self._notify("deleted", path)
+        self._notify("child", _parent_path(path))
+        return path
+
+    def _ephemerals_of(self, session_id):
+        found = []
+
+        def walk(node, prefix):
+            for name, child in node.children.items():
+                child_path = prefix + "/" + name if prefix != "/" else (
+                    "/" + name
+                )
+                if child.ephemeral_owner == session_id:
+                    found.append(child_path)
+                else:
+                    walk(child, child_path)
+
+        walk(self.root, "/")
+        return sorted(found)
+
+    def _notify(self, event, path):
+        if self.listener is not None and path is not None:
+            self.listener(event, path)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def read(self, query):
+        kind = query[0]
+        if kind == "get":
+            node = self._lookup(query[1])
+            return None if node is None else node.data
+        if kind == "exists":
+            return self._lookup(query[1]) is not None
+        if kind == "children":
+            node = self._lookup(query[1])
+            return None if node is None else sorted(node.children)
+        if kind == "stat":
+            node = self._lookup(query[1])
+            return None if node is None else node.stat()
+        if kind == "sessions":
+            return sorted(self.sessions)
+        raise ValueError("unknown read op: %r" % (query,))
+
+    def is_read(self, op):
+        return op[0] in _READS
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def _dump(self, node):
+        return (
+            node.data,
+            node.version,
+            node.cversion,
+            node.ephemeral_owner,
+            {
+                name: self._dump(child)
+                for name, child in node.children.items()
+            },
+        )
+
+    def _load(self, blob):
+        data, version, cversion, owner, children = blob
+        node = ZNode(data, ephemeral_owner=owner)
+        node.version = version
+        node.cversion = cversion
+        node.children = {
+            name: self._load(child) for name, child in children.items()
+        }
+        return node
+
+    def serialize(self):
+        blob = (self._dump(self.root), dict(self.sessions),
+                self.applied_count)
+        return blob, self._size(self.root) + 32
+
+    def restore(self, blob):
+        root_blob, sessions, applied = blob
+        self.root = self._load(root_blob)
+        self.sessions = dict(sessions)
+        self.applied_count = applied
+
+    def _size(self, node):
+        total = 32 + len(node.data)
+        for name, child in node.children.items():
+            total += len(name) + self._size(child)
+        return total
+
+    def op_size(self, op):
+        total = 16
+        for part in op:
+            if isinstance(part, (str, bytes)):
+                total += len(part)
+            else:
+                total += 8
+        return total

@@ -1,0 +1,113 @@
+"""Session-scoped exactly-once execution.
+
+The client library retries on timeout, which can execute a write twice
+— the classic at-least-once hazard.  ZooKeeper avoids it with
+session-ordered request numbering: the server remembers, per session,
+the last applied request number and the result it produced, and a
+retransmitted request returns the cached result instead of re-applying.
+
+:class:`DedupStateMachine` adds that to *any* state machine: the dedup
+table is part of replicated state (it serialises into snapshots and is
+rebuilt by log replay), so the exactly-once guarantee survives leader
+changes and crashes.  Wrap write operations as::
+
+    ("dedup", session_id, seq, inner_op)
+
+where *seq* increases by 1 per logical request within the session (a
+retry re-sends the same seq).  Unwrapped operations pass straight
+through, so mixed workloads work.
+"""
+
+from repro.app.statemachine import StateMachine
+
+
+class DedupStateMachine(StateMachine):
+    """Exactly-once wrapper around an inner state machine."""
+
+    def __init__(self, inner_factory):
+        self._inner_factory = inner_factory
+        self.inner = inner_factory()
+        # session -> (last_seq, last_result); replicated state.
+        self._sessions = {}
+        self.duplicates_suppressed = 0
+
+    # ------------------------------------------------------------------
+    # Primary side
+    # ------------------------------------------------------------------
+
+    def prepare(self, op):
+        if op[0] != "dedup":
+            return ("plain", self.inner.prepare(op))
+        _, session, seq, inner_op = op
+        last_seq, last_result = self._sessions.get(session, (0, None))
+        if seq <= last_seq:
+            # Retransmission of an already-resolved request: the delta
+            # must NOT be recomputed (state may have moved on); replicas
+            # answer from the cache.
+            return ("dup", session, seq)
+        return ("once", session, seq, self.inner.prepare(inner_op))
+
+    # ------------------------------------------------------------------
+    # Replica side
+    # ------------------------------------------------------------------
+
+    def apply(self, body):
+        kind = body[0]
+        if kind == "plain":
+            return self.inner.apply(body[1])
+        if kind == "once":
+            _, session, seq, delta = body
+            last_seq, last_result = self._sessions.get(session, (0, None))
+            if seq <= last_seq:
+                # A duplicate that raced past prepare (e.g. two copies
+                # of the same request both in the pipeline): suppress.
+                self.duplicates_suppressed += 1
+                return last_result if seq == last_seq else (
+                    "error", "stale duplicate"
+                )
+            result = self.inner.apply(delta)
+            self._sessions[session] = (seq, result)
+            return result
+        if kind == "dup":
+            _, session, seq = body
+            self.duplicates_suppressed += 1
+            last_seq, last_result = self._sessions.get(session, (0, None))
+            if seq == last_seq:
+                return last_result
+            return ("error", "stale duplicate")
+        raise ValueError("unknown dedup delta: %r" % (body,))
+
+    # ------------------------------------------------------------------
+    # Pass-throughs
+    # ------------------------------------------------------------------
+
+    def read(self, query):
+        return self.inner.read(query)
+
+    def is_read(self, op):
+        if op[0] == "dedup":
+            return False
+        return self.inner.is_read(op)
+
+    def op_size(self, op):
+        if op[0] == "dedup":
+            return 24 + self.inner.op_size(op[3])
+        return self.inner.op_size(op)
+
+    def serialize(self):
+        inner_blob, nbytes = self.inner.serialize()
+        return (inner_blob, dict(self._sessions)), nbytes + 16 * len(
+            self._sessions
+        )
+
+    def restore(self, blob):
+        inner_blob, sessions = blob
+        self.inner = self._inner_factory()
+        self.inner.restore(inner_blob)
+        self._sessions = dict(sessions)
+
+    # -- introspection ------------------------------------------------------
+
+    def session_seq(self, session):
+        """Last applied request number for *session* (0 if none)."""
+        return self._sessions.get(session, (0, None))[0]

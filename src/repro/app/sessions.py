@@ -1,0 +1,49 @@
+"""Leader-side session expiry tracking.
+
+ZooKeeper's leader owns session liveness: clients heartbeat through the
+server they are connected to, and when a session's timeout lapses the
+leader broadcasts a ``closeSession`` transaction, which deterministically
+removes the session's ephemeral nodes at every replica.
+
+:class:`SessionTracker` is the leader-local half of that: it records
+touches and reports which sessions are due for expiry; the caller (an
+example or test harness) proposes the resulting ``close_session``
+operations through the normal write path.
+"""
+
+
+class SessionTracker:
+    """Tracks session last-heard times against their timeouts."""
+
+    def __init__(self, clock):
+        self._clock = clock        # zero-arg callable returning now()
+        self._sessions = {}        # session_id -> (timeout, last_heard)
+
+    def register(self, session_id, timeout):
+        """Start tracking a session (after create_session commits)."""
+        self._sessions[session_id] = (timeout, self._clock())
+
+    def touch(self, session_id):
+        """Record a client heartbeat; False if the session is unknown."""
+        entry = self._sessions.get(session_id)
+        if entry is None:
+            return False
+        self._sessions[session_id] = (entry[0], self._clock())
+        return True
+
+    def remove(self, session_id):
+        """Stop tracking (after close_session commits)."""
+        self._sessions.pop(session_id, None)
+
+    def expired(self):
+        """Session ids whose timeout has lapsed, oldest first."""
+        now = self._clock()
+        due = [
+            (last_heard, session_id)
+            for session_id, (timeout, last_heard) in self._sessions.items()
+            if now - last_heard > timeout
+        ]
+        return [session_id for _last, session_id in sorted(due)]
+
+    def live_sessions(self):
+        return sorted(self._sessions)

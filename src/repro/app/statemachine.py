@@ -1,0 +1,95 @@
+"""The replicated state machine contract and the transaction envelope."""
+
+
+class Txn:
+    """One broadcast transaction: an idempotent state delta plus metadata.
+
+    txn_id
+        Globally unique id assigned by the primary (used by the property
+        checker to match broadcast and delivery events).
+    request_id / client / origin
+        Enough routing data for the peer that accepted the client request
+        (*origin*) to answer the client once the txn is delivered.
+    body
+        The application-specific delta produced by
+        :meth:`StateMachine.prepare`.
+    size
+        Nominal payload bytes, for wire/disk accounting.
+    """
+
+    __slots__ = ("txn_id", "request_id", "client", "origin", "body", "size")
+
+    def __init__(self, txn_id, request_id, client, origin, body, size):
+        self.txn_id = txn_id
+        self.request_id = request_id
+        self.client = client
+        self.origin = origin
+        self.body = body
+        self.size = size
+
+    def wire_size(self):
+        return 32 + self.size
+
+    def __repr__(self):
+        return "Txn(%s, %r)" % (self.txn_id, self.body)
+
+
+class StateMachine:
+    """What an application must implement to ride on Zab.
+
+    The contract splits the primary-backup roles:
+
+    - :meth:`prepare` runs **only at the primary**, converting a client
+      operation into an idempotent delta using the primary's current
+      (speculative) state;
+    - :meth:`apply` runs at **every replica**, in delivery order, and must
+      be deterministic given the delta;
+    - :meth:`read` serves local reads (ZooKeeper-style: reads are not
+      broadcast);
+    - :meth:`serialize` / :meth:`restore` support snapshots and SNAP sync.
+    """
+
+    def prepare(self, op):
+        """Turn *op* into a delta body.  May consult current state."""
+        raise NotImplementedError
+
+    def apply(self, body):
+        """Apply a delta; returns the operation result."""
+        raise NotImplementedError
+
+    def read(self, query):
+        """Answer a read-only query from local state."""
+        raise NotImplementedError
+
+    def is_read(self, op):
+        """True if *op* is read-only and should not be broadcast."""
+        raise NotImplementedError
+
+    def serialize(self):
+        """Return ``(blob, nbytes)`` — a deep-copyable snapshot payload."""
+        raise NotImplementedError
+
+    def restore(self, blob):
+        """Replace local state with a previously serialised snapshot."""
+        raise NotImplementedError
+
+    def op_size(self, op):
+        """Approximate payload bytes of *op* (wire/disk accounting)."""
+        return 64
+
+    def digest(self):
+        """A short, deterministic fingerprint of the current state.
+
+        Replicas that applied the same delta sequence produce identical
+        digests; the peers compare them at checkpoint positions to
+        detect silent state divergence (see ``ZabConfig.digest_every``).
+        The default hashes the snapshot payload; override for something
+        cheaper if serialisation is expensive.
+        """
+        import hashlib
+        import pickle
+
+        blob, _nbytes = self.serialize()
+        return hashlib.sha1(
+            pickle.dumps(blob, protocol=pickle.HIGHEST_PROTOCOL)
+        ).hexdigest()[:16]

@@ -1,0 +1,55 @@
+"""Replica-local watches over the data tree.
+
+ZooKeeper watches are one-shot subscriptions held by the server a client
+is connected to; they are **not** replicated state.  A
+:class:`WatchManager` attaches to one replica's
+:class:`~repro.app.datatree.DataTreeStateMachine` via its ``listener``
+hook and dispatches events to registered callbacks.
+"""
+
+WATCH_DATA = "data"        # fires on created / changed / deleted
+WATCH_CHILDREN = "children"  # fires on child list changes
+
+
+class WatchManager:
+    """One replica's watch table."""
+
+    def __init__(self, tree=None):
+        self._data_watches = {}      # path -> [callback]
+        self._child_watches = {}     # path -> [callback]
+        self.fired = 0
+        if tree is not None:
+            self.attach(tree)
+
+    def attach(self, tree):
+        """Hook into a DataTreeStateMachine's event stream."""
+        tree.listener = self.dispatch
+
+    def watch_data(self, path, callback):
+        """One-shot watch on a node's data/existence."""
+        self._data_watches.setdefault(path, []).append(callback)
+
+    def watch_children(self, path, callback):
+        """One-shot watch on a node's child list."""
+        self._child_watches.setdefault(path, []).append(callback)
+
+    def dispatch(self, event, path):
+        """Called by the tree on every applied mutation."""
+        if event in ("created", "changed", "deleted"):
+            self._fire(self._data_watches, event, path)
+        if event == "child":
+            self._fire(self._child_watches, event, path)
+
+    def _fire(self, table, event, path):
+        callbacks = table.pop(path, None)
+        if not callbacks:
+            return
+        for callback in callbacks:
+            self.fired += 1
+            callback(event, path)
+
+    def pending(self):
+        """Total registered (unfired) watches."""
+        return sum(len(v) for v in self._data_watches.values()) + sum(
+            len(v) for v in self._child_watches.values()
+        )

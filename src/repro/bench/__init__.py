@@ -1,0 +1,22 @@
+"""Benchmark toolkit: metrics, workload drivers, experiment runners.
+
+Everything measures **simulated time**: throughput is committed
+transactions per simulated second, latency is submit-to-commit in
+simulated seconds.  Absolute values depend on the network/disk models
+configured; the experiments in :mod:`repro.bench.experiments` are about
+*shapes* (scaling curves, knees, dips), per EXPERIMENTS.md.
+"""
+
+from repro.bench.metrics import LatencyRecorder, Timeline, percentile
+from repro.bench.runner import BenchResult, run_broadcast_bench
+from repro.bench.workloads import ClosedLoopDriver, OpenLoopDriver
+
+__all__ = [
+    "LatencyRecorder",
+    "Timeline",
+    "percentile",
+    "BenchResult",
+    "run_broadcast_bench",
+    "ClosedLoopDriver",
+    "OpenLoopDriver",
+]

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for experiment output."""
+
+
+def render_table(headers, rows, title=None):
+    """Fixed-width ASCII table (returns a string)."""
+    columns = [str(h) for h in headers]
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(columns[i]), *(len(row[i]) for row in text_rows))
+        if text_rows else len(columns[i])
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(columns[i].ljust(widths[i]) for i in range(len(columns)))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in text_rows:
+        lines.append(
+            "  ".join(row[i].rjust(widths[i]) for i in range(len(row)))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return "%.0f" % value
+        if abs(value) >= 1:
+            return "%.2f" % value
+        return "%.4f" % value
+    return str(value)
+
+
+def render_series(series, width=60, label="t"):
+    """Tiny ASCII sparkline of a (time, value) series (returns a string)."""
+    if not series:
+        return "(empty series)"
+    values = [value for _t, value in series]
+    top = max(values) or 1.0
+    blocks = " .:-=+*#%@"
+    scaled = [
+        blocks[min(len(blocks) - 1, int(value / top * (len(blocks) - 1)))]
+        for value in values
+    ]
+    if len(scaled) > width:
+        stride = len(scaled) / width
+        scaled = [scaled[int(i * stride)] for i in range(width)]
+    return "%s[%s] peak=%.0f" % (label, "".join(scaled), top)

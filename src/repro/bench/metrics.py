@@ -1,0 +1,99 @@
+"""Measurement primitives for the experiment harness."""
+
+import math
+
+
+def percentile(values, fraction):
+    """The *fraction*-quantile (0..1) of *values* by linear interpolation."""
+    if not values:
+        raise ValueError("no values")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+class LatencyRecorder:
+    """Collects (timestamp, latency) samples with a warmup filter."""
+
+    def __init__(self, warmup_until=0.0):
+        self.warmup_until = warmup_until
+        self.samples = []       # (commit_time, latency)
+        self.discarded = 0
+
+    def record(self, commit_time, latency):
+        if commit_time < self.warmup_until:
+            self.discarded += 1
+            return
+        self.samples.append((commit_time, latency))
+
+    def latencies(self):
+        return [latency for _time, latency in self.samples]
+
+    def count(self):
+        return len(self.samples)
+
+    def mean(self):
+        values = self.latencies()
+        return sum(values) / len(values) if values else float("nan")
+
+    def pct(self, fraction):
+        values = self.latencies()
+        return percentile(values, fraction) if values else float("nan")
+
+    def summary(self):
+        """Dict of the stats the experiment tables report."""
+        if not self.samples:
+            return {"count": 0}
+        return {
+            "count": self.count(),
+            "mean": self.mean(),
+            "p50": self.pct(0.50),
+            "p95": self.pct(0.95),
+            "p99": self.pct(0.99),
+            "max": max(self.latencies()),
+        }
+
+
+class Timeline:
+    """Time-bucketed event counts — the throughput-over-time series."""
+
+    def __init__(self, bucket=0.1):
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        self.bucket = bucket
+        self._counts = {}
+
+    def add(self, time, count=1):
+        index = int(time / self.bucket)
+        self._counts[index] = self._counts.get(index, 0) + count
+
+    def series(self, start=None, end=None):
+        """[(bucket_start_time, events_per_second)], gaps filled with 0."""
+        if not self._counts:
+            return []
+        first = min(self._counts)
+        last = max(self._counts)
+        if start is not None:
+            first = max(first, int(start / self.bucket))
+        if end is not None:
+            last = min(last, int(end / self.bucket))
+        return [
+            (index * self.bucket, self._counts.get(index, 0) / self.bucket)
+            for index in range(first, last + 1)
+        ]
+
+    def total(self):
+        return sum(self._counts.values())
+
+    def min_rate(self, start=None, end=None):
+        rates = [rate for _t, rate in self.series(start, end)]
+        return min(rates) if rates else 0.0

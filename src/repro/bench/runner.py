@@ -1,0 +1,124 @@
+"""End-to-end experiment runner.
+
+``run_broadcast_bench`` builds a cluster with the requested network/disk
+models, drives it with a workload for a fixed stretch of simulated time,
+and returns a :class:`BenchResult` with throughput, latency percentiles,
+and traffic accounting.  Every experiment in the ``benchmarks/`` tree
+bottoms out here (or in a small variation of it).
+"""
+
+from repro.bench.workloads import ClosedLoopDriver, OpenLoopDriver
+from repro.harness.cluster import Cluster
+from repro.net import NetworkConfig
+
+# 1 gigabit/s expressed in bytes/s — the paper's testbed NIC class.
+GBE_BANDWIDTH = 125e6
+
+
+class BenchResult:
+    """One experiment data point."""
+
+    def __init__(self, params, throughput, latency, duration, committed,
+                 net_stats, timeline, check_report=None):
+        self.params = params
+        self.throughput = throughput      # committed ops / simulated second
+        self.latency = latency            # summary dict (mean/p50/p95/p99)
+        self.duration = duration
+        self.committed = committed
+        self.net_stats = net_stats
+        self.timeline = timeline
+        self.check_report = check_report
+
+    def __repr__(self):
+        return "<BenchResult %.0f ops/s %r>" % (self.throughput, self.params)
+
+
+def default_op_factory(value_bytes):
+    """KV put workload with a fixed value size (spread over 64 keys)."""
+    payload = "v" * value_bytes
+
+    def factory(index):
+        return ("put", "key-%d" % (index % 64), payload)
+
+    return factory
+
+
+def run_broadcast_bench(
+    n_voters,
+    op_size=1024,
+    outstanding=64,
+    duration=3.0,
+    warmup=0.5,
+    seed=0,
+    bandwidth_bps=GBE_BANDWIDTH / 5,
+    latency=0.0002,
+    disk=None,
+    fsync_latency=0.0005,
+    group_commit=True,
+    open_loop_rate=None,
+    check_properties=True,
+    **config_overrides
+):
+    """Run one saturated-broadcast (or open-loop) measurement.
+
+    Returns a :class:`BenchResult`.  ``open_loop_rate`` switches from the
+    closed-loop saturation driver to Poisson arrivals at the given rate.
+    """
+    cluster = Cluster(
+        n_voters,
+        seed=seed,
+        net_config=NetworkConfig(
+            bandwidth_bps=bandwidth_bps, latency=latency
+        ),
+        disk=disk,
+        fsync_latency=fsync_latency,
+        group_commit=group_commit,
+        **config_overrides
+    )
+    cluster.start()
+    cluster.run_until_stable(timeout=60.0)
+
+    op_factory = default_op_factory(op_size)
+    if open_loop_rate is not None:
+        driver = OpenLoopDriver(
+            cluster, open_loop_rate, op_factory, op_size, warmup=warmup
+        )
+    else:
+        driver = ClosedLoopDriver(
+            cluster, outstanding, op_factory, op_size, warmup=warmup
+        )
+    start_time = cluster.sim.now
+    driver.start()
+    cluster.run(duration + warmup)
+    driver.stop()
+    # Let in-flight operations finish so the window measure is clean.
+    cluster.run(0.5)
+
+    measured_window = duration
+    committed = driver.latency.count()
+    throughput = committed / measured_window if measured_window > 0 else 0.0
+
+    report = cluster.check_properties() if check_properties else None
+    if report is not None and not report.ok:
+        raise AssertionError(
+            "benchmark run violated broadcast properties: %r" % report
+        )
+
+    return BenchResult(
+        params={
+            "n_voters": n_voters,
+            "op_size": op_size,
+            "outstanding": outstanding,
+            "open_loop_rate": open_loop_rate,
+            "bandwidth_bps": bandwidth_bps,
+            "disk": disk,
+            "seed": seed,
+        },
+        throughput=throughput,
+        latency=driver.latency.summary(),
+        duration=measured_window,
+        committed=committed,
+        net_stats=cluster.network.stats.snapshot(),
+        timeline=driver.timeline,
+        check_report=report,
+    )

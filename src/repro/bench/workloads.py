@@ -1,0 +1,167 @@
+"""Workload drivers.
+
+Two classic load models:
+
+- :class:`ClosedLoopDriver` — a fixed number of outstanding operations;
+  each commit immediately triggers the next submission.  With enough
+  outstanding operations this *saturates* the leader, which is the
+  condition of the paper's throughput-vs-ensemble-size experiment.
+- :class:`OpenLoopDriver` — Poisson arrivals at a target rate,
+  independent of completions; used for the latency-vs-offered-load sweep
+  where the interesting feature is the saturation knee.
+
+Both submit directly at the current leader (``propose_op``), measuring
+the broadcast layer itself rather than client networking, and both
+survive leader changes by re-resolving the leader and retrying.
+"""
+
+from repro.bench.metrics import LatencyRecorder, Timeline
+from repro.common.errors import NotLeaderError
+
+
+class _DriverBase:
+    def __init__(self, cluster, op_factory, op_size, warmup=0.0,
+                 timeline_bucket=0.1):
+        self.cluster = cluster
+        self.op_factory = op_factory
+        self.op_size = op_size
+        self.latency = LatencyRecorder(
+            warmup_until=cluster.sim.now + warmup
+        )
+        self.timeline = Timeline(bucket=timeline_bucket)
+        self.submitted = 0
+        self.committed = 0
+        self.stopped = False
+
+    def stop(self):
+        self.stopped = True
+
+    def _submit_one(self):
+        if self.stopped:
+            return False
+        leader = self.cluster.leader()
+        if leader is None:
+            return False
+        submit_time = self.cluster.sim.now
+
+        def on_commit(result, zxid, t0=submit_time):
+            now = self.cluster.sim.now
+            self.committed += 1
+            self.latency.record(now, now - t0)
+            self.timeline.add(now)
+            self._on_commit()
+
+        try:
+            leader.propose_op(
+                self.op_factory(self.submitted), callback=on_commit,
+                size=self.op_size,
+            )
+        except NotLeaderError:
+            return False
+        self.submitted += 1
+        return True
+
+    def _on_commit(self):
+        """Subclass hook fired after each commit is recorded."""
+
+    def results(self):
+        """Summary dict shared by the experiment tables."""
+        return {
+            "submitted": self.submitted,
+            "committed": self.committed,
+            "latency": self.latency.summary(),
+        }
+
+
+class ClosedLoopDriver(_DriverBase):
+    """Keeps *outstanding* operations permanently in flight.
+
+    Operations in flight at a leader that crashes lose their callbacks
+    (their transactions may still commit later, answered by nobody); a
+    stall watchdog notices the silence and refills the window once a new
+    leader establishes, so the driver keeps saturating the cluster
+    across failovers.
+    """
+
+    def __init__(self, cluster, outstanding, op_factory, op_size,
+                 warmup=0.0, retry_interval=0.05, stall_timeout=0.5,
+                 timeline_bucket=0.1):
+        _DriverBase.__init__(
+            self, cluster, op_factory, op_size, warmup=warmup,
+            timeline_bucket=timeline_bucket,
+        )
+        self.outstanding = outstanding
+        self.retry_interval = retry_interval
+        self.stall_timeout = stall_timeout
+        self._in_flight = 0
+        self._last_activity = cluster.sim.now
+
+    def start(self):
+        for _ in range(self.outstanding):
+            self._pump()
+        self._arm_watchdog()
+        return self
+
+    def _pump(self):
+        if self.stopped:
+            return
+        if self._submit_one():
+            self._in_flight += 1
+            self._last_activity = self.cluster.sim.now
+        else:
+            # No leader right now (election in progress): retry shortly.
+            self.cluster.sim.schedule(self.retry_interval, self._pump)
+
+    def _on_commit(self):
+        self._in_flight -= 1
+        self._last_activity = self.cluster.sim.now
+        self._pump()
+
+    def _arm_watchdog(self):
+        if self.stopped:
+            return
+        self.cluster.sim.schedule(self.stall_timeout, self._watchdog)
+
+    def _watchdog(self):
+        if self.stopped:
+            return
+        silent = self.cluster.sim.now - self._last_activity
+        if silent >= self.stall_timeout and self.cluster.leader() is not None:
+            # The previous window died with a crashed leader; refill.
+            self._in_flight = 0
+            for _ in range(self.outstanding):
+                self._pump()
+        self._arm_watchdog()
+
+
+class OpenLoopDriver(_DriverBase):
+    """Poisson arrivals at *rate* operations per simulated second."""
+
+    def __init__(self, cluster, rate, op_factory, op_size, warmup=0.0,
+                 timeline_bucket=0.1):
+        _DriverBase.__init__(
+            self, cluster, op_factory, op_size, warmup=warmup,
+            timeline_bucket=timeline_bucket,
+        )
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+        self.rejected = 0
+        self._rng = cluster.sim.random.stream("openloop")
+
+    def start(self):
+        self._schedule_next()
+        return self
+
+    def _schedule_next(self):
+        if self.stopped:
+            return
+        delay = self._rng.expovariate(self.rate)
+        self.cluster.sim.schedule(delay, self._arrival)
+
+    def _arrival(self):
+        if self.stopped:
+            return
+        if not self._submit_one():
+            self.rejected += 1
+        self._schedule_next()

@@ -1,0 +1,227 @@
+"""Executable versions of the paper's PO atomic broadcast properties.
+
+The checks operate on a :class:`~repro.checker.trace.Trace`:
+
+- **integrity** — only broadcast transactions are delivered, with the
+  identifier they were broadcast under;
+- **total order** — realised as *position consistency*: the union of all
+  replica histories forms a single well-defined sequence (no two processes
+  ever disagree about which transaction sits at a given position);
+- **agreement** — each incarnation's delivery positions are gapless, so
+  replica histories are prefixes of one another (modulo snapshot bases);
+- **local primary order** — the delivered transactions of an epoch are a
+  prefix of that epoch's broadcast sequence, in broadcast order;
+- **global primary order** — epochs never decrease along the history;
+- **primary integrity** — a primary broadcasts only after its own state
+  reflects every transaction of earlier epochs that any process delivers.
+
+A trace from a correct Zab run must pass all six; the Paxos baseline run
+of experiment E4 fails local and global primary order, exactly as the
+paper argues.
+"""
+
+
+class Violation:
+    """One property violation with enough context to debug it."""
+
+    __slots__ = ("prop", "message", "events")
+
+    def __init__(self, prop, message, events=()):
+        self.prop = prop
+        self.message = message
+        self.events = tuple(events)
+
+    def __repr__(self):
+        return "Violation(%s: %s)" % (self.prop, self.message)
+
+
+class PropertyReport:
+    """Outcome of checking one trace."""
+
+    def __init__(self, violations, stats):
+        self.violations = list(violations)
+        self.stats = stats
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    def violated_properties(self):
+        """The set of property names that failed."""
+        return {violation.prop for violation in self.violations}
+
+    def __repr__(self):
+        if self.ok:
+            return "<PropertyReport OK %r>" % (self.stats,)
+        return "<PropertyReport %d violations: %s>" % (
+            len(self.violations),
+            sorted(self.violated_properties()),
+        )
+
+
+def _union_history(trace, violations):
+    """Build position -> delivery, flagging total-order conflicts."""
+    history = {}
+    for event in trace.deliveries:
+        existing = history.get(event.position)
+        if existing is None:
+            history[event.position] = event
+        elif existing.txn_id != event.txn_id:
+            violations.append(
+                Violation(
+                    "total_order",
+                    "position %d holds %s at %s but %s at %s"
+                    % (
+                        event.position,
+                        existing.txn_id,
+                        existing.process,
+                        event.txn_id,
+                        event.process,
+                    ),
+                    [existing, event],
+                )
+            )
+    return history
+
+
+def check_integrity(trace, violations):
+    """Every delivery corresponds to a broadcast with matching identity."""
+    broadcast_by_txn = {event.txn_id: event for event in trace.broadcasts}
+    for event in trace.deliveries:
+        origin = broadcast_by_txn.get(event.txn_id)
+        if origin is None:
+            violations.append(
+                Violation(
+                    "integrity",
+                    "delivered %s was never broadcast" % event.txn_id,
+                    [event],
+                )
+            )
+        elif origin.zxid != event.zxid:
+            violations.append(
+                Violation(
+                    "integrity",
+                    "%s delivered under %r but broadcast as %r"
+                    % (event.txn_id, event.zxid, origin.zxid),
+                    [event, origin],
+                )
+            )
+
+
+def check_agreement(trace, violations):
+    """Within each incarnation, positions are strictly increasing and
+    gapless; across processes, histories are mutually consistent."""
+    sequences = {}
+    for event in trace.deliveries:
+        sequences.setdefault(
+            (event.process, event.incarnation), []
+        ).append(event)
+    for (process, incarnation), events in sequences.items():
+        previous = None
+        for event in events:
+            if previous is not None and event.position != previous + 1:
+                violations.append(
+                    Violation(
+                        "agreement",
+                        "%s/inc%d jumped from position %d to %d"
+                        % (process, incarnation, previous, event.position),
+                        [event],
+                    )
+                )
+            previous = event.position
+
+
+def check_local_primary_order(trace, history, violations):
+    """Deliveries of each epoch form a prefix of its broadcast order."""
+    broadcast_order = trace.broadcasts_by_epoch()
+    delivered_by_epoch = {}
+    for position in sorted(history):
+        event = history[position]
+        delivered_by_epoch.setdefault(event.epoch, []).append(event)
+    for epoch, delivered in delivered_by_epoch.items():
+        order = [event.txn_id for event in broadcast_order.get(epoch, [])]
+        expected = order[: len(delivered)]
+        actual = [event.txn_id for event in delivered]
+        if actual != expected:
+            violations.append(
+                Violation(
+                    "local_primary_order",
+                    "epoch %d delivered %r but primary broadcast %r"
+                    % (epoch, actual, expected),
+                    delivered,
+                )
+            )
+
+
+def check_global_primary_order(trace, history, violations):
+    """Epochs are non-decreasing along the union history."""
+    previous = None
+    for position in sorted(history):
+        event = history[position]
+        if previous is not None and event.epoch < previous.epoch:
+            violations.append(
+                Violation(
+                    "global_primary_order",
+                    "epoch %d txn %s delivered after epoch %d txn %s"
+                    % (
+                        event.epoch,
+                        event.txn_id,
+                        previous.epoch,
+                        previous.txn_id,
+                    ),
+                    [previous, event],
+                )
+            )
+        previous = event
+
+
+def check_primary_integrity(trace, history, violations):
+    """A primary's first broadcast happens only after its state covers
+    every earlier-epoch transaction that is ever delivered anywhere."""
+    position_of = {
+        event.txn_id: position for position, event in history.items()
+    }
+    first_broadcast = {}
+    for event in trace.broadcasts:
+        first_broadcast.setdefault(event.epoch, event)
+    for epoch, first in first_broadcast.items():
+        primary_positions = [
+            event.position
+            for event in trace.deliveries
+            if event.process == first.primary and event.index < first.index
+        ]
+        covered = max(primary_positions) if primary_positions else 0
+        for delivery in trace.deliveries:
+            if delivery.epoch >= epoch:
+                continue
+            position = position_of.get(delivery.txn_id)
+            if position is not None and position > covered:
+                violations.append(
+                    Violation(
+                        "primary_integrity",
+                        "primary %s of epoch %d broadcast before covering "
+                        "%s (epoch %d, position %d > covered %d)"
+                        % (
+                            first.primary,
+                            epoch,
+                            delivery.txn_id,
+                            delivery.epoch,
+                            position,
+                            covered,
+                        ),
+                        [first, delivery],
+                    )
+                )
+                break  # one violation per epoch is enough signal
+
+
+def check_all(trace):
+    """Run every property; returns a :class:`PropertyReport`."""
+    violations = []
+    history = _union_history(trace, violations)
+    check_integrity(trace, violations)
+    check_agreement(trace, violations)
+    check_local_primary_order(trace, history, violations)
+    check_global_primary_order(trace, history, violations)
+    check_primary_integrity(trace, history, violations)
+    return PropertyReport(violations, trace.stats())

@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro experiment e1          # regenerate a paper artifact
+    python -m repro experiment all
+    python -m repro bench --servers 5      # one custom throughput run
+    python -m repro fuzz --seed 7          # random fault injection + check
+    python -m repro info                   # inventory
+
+The CLI is a thin veneer over :mod:`repro.bench.experiments` and
+:mod:`repro.harness`; everything it prints can also be produced from the
+library API.
+"""
+
+import argparse
+import sys
+
+from repro.bench import experiments
+from repro.bench.runner import run_broadcast_bench
+
+EXPERIMENTS = {
+    "e1": experiments.e1_throughput_vs_servers,
+    "e2": experiments.e2_latency_vs_load,
+    "e3": experiments.e3_failure_timeline,
+    "e4": experiments.e4_paxos_violation,
+    "e5": experiments.e5_pipelining,
+    "e6": experiments.e6_sync_strategies,
+    "e6b": experiments.e6_end_to_end_resync,
+    "e7": experiments.e7_log_device,
+    "e8": experiments.e8_latency_percentiles,
+    "e9": experiments.e9_group_commit,
+    "e10": experiments.e10_zab_vs_paxos,
+    "a1": experiments.a1_recovery_time,
+    "a2": experiments.a2_observers,
+    "a3": experiments.a3_op_size,
+}
+
+
+def cmd_experiment(args):
+    names = list(EXPERIMENTS) if args.id == "all" else [args.id]
+    for name in names:
+        fn = EXPERIMENTS.get(name)
+        if fn is None:
+            print("unknown experiment %r; choose from: %s"
+                  % (name, ", ".join(EXPERIMENTS)), file=sys.stderr)
+            return 2
+        _rows, table, _extras = fn()
+        print(table)
+        print()
+    return 0
+
+
+def cmd_bench(args):
+    result = run_broadcast_bench(
+        args.servers,
+        op_size=args.op_size,
+        outstanding=args.outstanding,
+        duration=args.duration,
+        seed=args.seed,
+        bandwidth_bps=args.bandwidth * 1e6 / 8,
+        disk="model" if args.disk else None,
+    )
+    print("servers:      %d" % args.servers)
+    print("throughput:   %.0f ops/s" % result.throughput)
+    print("committed:    %d ops in %.1fs simulated"
+          % (result.committed, result.duration))
+    latency = result.latency
+    print("latency:      p50=%.2fms p95=%.2fms p99=%.2fms"
+          % (latency["p50"] * 1e3, latency["p95"] * 1e3,
+             latency["p99"] * 1e3))
+    print("wire traffic: %.1f MB" % (
+        sum(result.net_stats["bytes_sent"].values()) / 1e6
+    ))
+    print("properties:   %s"
+          % ("OK" if result.check_report.ok else "VIOLATED"))
+    return 0
+
+
+def cmd_fuzz(args):
+    # Import here: the integration helpers live in the test tree's
+    # spirit but are re-implemented inline to keep the CLI standalone.
+    from repro.harness import Cluster
+
+    cluster = Cluster(args.servers, seed=args.seed).start()
+    cluster.run_until_stable(timeout=60)
+    rng = cluster.sim.random.stream("cli-fuzz")
+    max_down = (args.servers - 1) // 2
+
+    def tick():
+        leader = cluster.leader()
+        if leader is not None:
+            try:
+                leader.propose_op(("incr", "counter", 1))
+            except Exception:
+                pass
+
+    for step in range(args.steps):
+        for _ in range(10):
+            cluster.run(0.05)
+            tick()
+        crashed = [p for p, peer in cluster.peers.items() if peer.crashed]
+        live = [p for p, peer in cluster.peers.items() if not peer.crashed]
+        if crashed and (rng.random() < 0.5 or len(crashed) >= max_down):
+            victim = rng.choice(crashed)
+            print("t=%6.2f recover peer %d" % (cluster.sim.now, victim))
+            cluster.recover(victim)
+        else:
+            victim = rng.choice(live)
+            print("t=%6.2f crash   peer %d" % (cluster.sim.now, victim))
+            cluster.crash(victim)
+    for peer_id, peer in cluster.peers.items():
+        if peer.crashed:
+            cluster.recover(peer_id)
+    cluster.run_until_stable(timeout=60)
+    cluster.run(2.0)
+    report = cluster.check_properties()
+    print()
+    from repro.checker.report import render_history, render_report
+
+    print("properties: %s" % ("ALL OK" if report.ok else "VIOLATED"))
+    print(render_report(report))
+    if not report.ok:
+        print("union history:")
+        print(render_history(cluster.trace))
+    return 0 if report.ok else 1
+
+
+def cmd_campaign(args):
+    from repro.bench.campaign import (
+        render_campaign,
+        run_adversarial_campaign,
+    )
+
+    seeds = range(args.first_seed, args.first_seed + args.seeds)
+    outcomes = run_adversarial_campaign(
+        seeds, n_voters=args.servers, steps=args.steps
+    )
+    print(render_campaign(outcomes))
+    return 0 if all(outcome.passed for outcome in outcomes) else 1
+
+
+def cmd_info(_args):
+    print(__doc__)
+    print("experiments:", ", ".join(EXPERIMENTS))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Zab (DSN 2011) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure (e1..e10, all)"
+    )
+    p_exp.add_argument("id")
+    p_exp.set_defaults(fn=cmd_experiment)
+
+    p_bench = sub.add_parser("bench", help="one custom throughput run")
+    p_bench.add_argument("--servers", type=int, default=3)
+    p_bench.add_argument("--op-size", type=int, default=1024)
+    p_bench.add_argument("--outstanding", type=int, default=64)
+    p_bench.add_argument("--duration", type=float, default=1.0)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--bandwidth", type=float, default=200.0,
+                         help="link speed in Mbit/s (default 200)")
+    p_bench.add_argument("--disk", action="store_true",
+                         help="enable the fsync/disk model")
+    p_bench.set_defaults(fn=cmd_bench)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="random crash/recover run + property check"
+    )
+    p_fuzz.add_argument("--servers", type=int, default=5)
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument("--steps", type=int, default=10)
+    p_fuzz.set_defaults(fn=cmd_fuzz)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="batch of adversarial runs across seeds + verdict table",
+    )
+    p_campaign.add_argument("--servers", type=int, default=3)
+    p_campaign.add_argument("--seeds", type=int, default=10,
+                            help="number of seeds (0..N-1)")
+    p_campaign.add_argument("--first-seed", type=int, default=0)
+    p_campaign.add_argument("--steps", type=int, default=10)
+    p_campaign.set_defaults(fn=cmd_campaign)
+
+    p_info = sub.add_parser("info", help="inventory and usage")
+    p_info.set_defaults(fn=cmd_info)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

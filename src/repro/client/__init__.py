@@ -1,0 +1,5 @@
+"""Client-side library: sessions, request routing, retries."""
+
+from repro.client.client import Client
+
+__all__ = ["Client"]

@@ -1,0 +1,206 @@
+"""A simulated service client.
+
+Clients talk to any peer: reads are answered locally by that peer
+(ZooKeeper's consistency model — local, possibly slightly stale reads);
+writes are forwarded to the leader by the contacted peer.  The client
+retries on timeouts and follows ``leader_hint`` redirects, rotating
+through the ensemble until a request succeeds or its retry budget is
+exhausted.
+"""
+
+import itertools
+
+from repro.common.ids import client_id
+from repro.sim.process import Process
+from repro.zab import messages
+
+
+class _Call:
+    """Bookkeeping for one in-flight request."""
+
+    __slots__ = ("request_id", "op", "callback", "attempts", "timer",
+                 "submitted_at", "wants_watch")
+
+    def __init__(self, request_id, op, callback, submitted_at):
+        self.request_id = request_id
+        self.op = op
+        self.callback = callback
+        self.attempts = 0
+        self.timer = None
+        self.submitted_at = submitted_at
+        self.wants_watch = False
+
+
+class Client(Process):
+    """One client session against the ensemble.
+
+    Parameters
+    ----------
+    sim, network:
+        The shared simulation kernel and fabric.
+    name:
+        Client name; its network address is ``client:<name>``.
+    peers:
+        Peer ids to contact (typically ``cluster.config.all_peers``).
+    prefer:
+        Optional peer id to contact first (e.g. pin reads to a follower).
+    request_timeout:
+        Seconds before a request is retried against another peer.
+    max_attempts:
+        Attempts before a request fails with ``("error", "unavailable")``.
+    """
+
+    def __init__(self, sim, network, name, peers, prefer=None,
+                 request_timeout=1.0, max_attempts=10):
+        Process.__init__(self, sim, "client-%s" % name)
+        self.network = network
+        self.address = client_id(name)
+        self.peers = list(peers)
+        self.prefer = prefer
+        self.request_timeout = request_timeout
+        self.max_attempts = max_attempts
+        self._calls = {}
+        self._watch_handlers = {}   # (path, kind) -> [callback]
+        self._seq = itertools.count(1)
+        self._target = prefer if prefer is not None else self.peers[0]
+        self.completed = 0
+        self.failed = 0
+        network.register(self.address, self._on_message)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def submit(self, op, callback=None, exactly_once=False, watch=None):
+        """Send *op*; *callback(ok, result, zxid)* fires on completion.
+
+        With ``exactly_once=True`` the operation is wrapped in a
+        session-scoped ``("dedup", session, seq, op)`` envelope (the
+        ensemble must run a
+        :class:`~repro.app.dedup.DedupStateMachine`): retries re-send
+        the *same* sequence number, so a write that raced a timeout is
+        applied at most once.  Only meaningful for writes.
+
+        *watch* (read ops on a data tree only) registers a one-shot
+        watch at the answering peer; ``watch(event, path)`` fires when
+        the node (or, for ``children`` reads, its child list) changes.
+        """
+        sequence = next(self._seq)
+        request_id = "%s#%d" % (self.address, sequence)
+        wants_watch = False
+        if watch is not None:
+            kind = "children" if op[0] == "children" else "data"
+            self._watch_handlers.setdefault(
+                (op[1], kind), []
+            ).append(watch)
+            wants_watch = True
+        if exactly_once:
+            op = ("dedup", self.address, sequence, op)
+        call = _Call(request_id, op, callback, self.sim.now)
+        call.wants_watch = wants_watch
+        self._calls[request_id] = call
+        self._attempt(call)
+        return request_id
+
+    def pending(self):
+        """Number of requests still in flight."""
+        return len(self._calls)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _attempt(self, call):
+        call.attempts += 1
+        if call.attempts > self.max_attempts:
+            self._finish(call, False, ("error", "unavailable"), None)
+            return
+        size = 64 + self._op_bytes(call.op)
+        self.network.send(
+            self.address,
+            self._target,
+            messages.ClientRequest(
+                call.request_id, self.address, call.op, size,
+                watch=call.wants_watch,
+            ),
+        )
+        call.timer = self.set_timer(
+            self.request_timeout, self._on_timeout, call.request_id
+        )
+
+    @staticmethod
+    def _op_bytes(op):
+        total = 0
+        for part in op:
+            if isinstance(part, (str, bytes)):
+                total += len(part)
+            else:
+                total += 8
+        return total
+
+    def _rotate_target(self, hint=None):
+        if hint is not None and hint in self.peers:
+            self._target = hint
+            return
+        index = self.peers.index(self._target)
+        self._target = self.peers[(index + 1) % len(self.peers)]
+
+    def _on_timeout(self, request_id):
+        call = self._calls.get(request_id)
+        if call is None:
+            return
+        call.timer = None
+        self._rotate_target()
+        self._attempt(call)
+
+    def _on_message(self, src, msg):
+        if self.crashed:
+            return
+        if isinstance(msg, messages.WatchEvent):
+            self._on_watch_event(msg)
+            return
+        if not isinstance(msg, messages.ClientReply):
+            return
+        call = self._calls.get(msg.request_id)
+        if call is None:
+            return  # duplicate reply after a retry already completed
+        if msg.ok:
+            self._finish(call, True, msg.result, msg.zxid)
+        else:
+            # Redirect: retry against the hinted leader (or next peer).
+            if call.timer is not None:
+                self.cancel_timer(call.timer)
+                call.timer = None
+            self._rotate_target(hint=msg.leader_hint)
+            # Small backoff so a leaderless ensemble is not hammered.
+            self.set_timer(0.01, self._retry_if_pending, call.request_id)
+
+    def _retry_if_pending(self, request_id):
+        call = self._calls.get(request_id)
+        if call is not None and call.timer is None:
+            self._attempt(call)
+
+    def _finish(self, call, ok, result, zxid):
+        if call.timer is not None:
+            self.cancel_timer(call.timer)
+        del self._calls[call.request_id]
+        if ok:
+            self.completed += 1
+        else:
+            self.failed += 1
+        if call.callback is not None:
+            call.callback(ok, result, zxid)
+
+    def _on_watch_event(self, msg):
+        kind = "children" if msg.event == "child" else "data"
+        handlers = self._watch_handlers.get((msg.path, kind))
+        if not handlers:
+            return
+        handler = handlers.pop(0)
+        if not handlers:
+            del self._watch_handlers[(msg.path, kind)]
+        handler(msg.event, msg.path)
+
+    def on_crash(self):
+        self._calls = {}
+        self._watch_handlers = {}

@@ -1,0 +1,38 @@
+"""Exception hierarchy used across the reproduction.
+
+A single root (:class:`ReproError`) makes it possible for callers to catch
+"anything this library raises" without accidentally swallowing genuine
+programming errors such as :class:`TypeError`.
+"""
+
+
+class ReproError(Exception):
+    """Root of the library's exception hierarchy."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class CrashedProcessError(ReproError):
+    """An operation was attempted on a crashed simulated process."""
+
+
+class NotLeaderError(ReproError):
+    """A leader-only operation was invoked on a non-leader peer."""
+
+
+class SessionExpiredError(ReproError):
+    """A client session has expired and can no longer be used."""
+
+
+class StorageError(ReproError):
+    """The persistence layer detected corruption or an invalid operation."""
+
+
+class QuorumLostError(ReproError):
+    """A leader lost contact with a quorum of followers."""
+
+
+class ProtocolViolationError(ReproError):
+    """A peer received a message that is illegal in its current state."""

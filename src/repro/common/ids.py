@@ -1,0 +1,41 @@
+"""Node identifiers.
+
+Peers are identified by small integers (like ZooKeeper's ``myid``).  Clients
+use a disjoint string namespace so that a client id can never collide with a
+peer id inside the network routing table.
+"""
+
+from repro.common.errors import ConfigError
+
+NodeId = int
+
+_CLIENT_PREFIX = "client:"
+
+
+def format_node(node_id):
+    """Render a node id (peer int or client string) for log messages."""
+    if isinstance(node_id, int):
+        return "peer-%d" % node_id
+    return str(node_id)
+
+
+def parse_node(text):
+    """Parse ``"peer-3"`` / ``"client:abc"`` back into a node id."""
+    if text.startswith("peer-"):
+        try:
+            return int(text[len("peer-"):])
+        except ValueError:
+            raise ConfigError("malformed peer id: %r" % text)
+    if text.startswith(_CLIENT_PREFIX):
+        return text
+    raise ConfigError("unrecognised node id: %r" % text)
+
+
+def client_id(name):
+    """Build the network address for a client endpoint."""
+    return _CLIENT_PREFIX + str(name)
+
+
+def is_client(node_id):
+    """True if *node_id* addresses a client endpoint rather than a peer."""
+    return isinstance(node_id, str) and node_id.startswith(_CLIENT_PREFIX)

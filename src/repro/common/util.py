@@ -1,0 +1,36 @@
+"""Small generic helpers shared by several subpackages."""
+
+
+def majority(n):
+    """Smallest number of members that forms a majority of *n*."""
+    return n // 2 + 1
+
+
+def pairwise_disjoint(groups):
+    """True if the given iterables share no elements."""
+    seen = set()
+    for group in groups:
+        for member in group:
+            if member in seen:
+                return False
+            seen.add(member)
+    return True
+
+
+def clamp(value, low, high):
+    """Restrict *value* to the inclusive range [low, high]."""
+    if low > high:
+        raise ValueError("empty range: low=%r high=%r" % (low, high))
+    return max(low, min(high, value))
+
+
+def fmt_bytes(n):
+    """Human-readable byte count, e.g. ``fmt_bytes(2048) == '2.0KiB'``."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            if unit == "B":
+                return "%d%s" % (int(value), unit)
+            return "%.1f%s" % (value, unit)
+        value /= 1024.0
+    raise AssertionError("unreachable")

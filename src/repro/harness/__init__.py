@@ -1,0 +1,6 @@
+"""Experiment harness: clusters, fault schedules, stability detection."""
+
+from repro.harness.cluster import Cluster
+from repro.harness.faults import FaultSchedule
+
+__all__ = ["Cluster", "FaultSchedule"]

@@ -1,0 +1,222 @@
+"""A fully wired ensemble in one object.
+
+``Cluster`` builds the simulator, network, per-peer stable storage (with an
+optional disk timing model), trace recorder, and the peers themselves, and
+offers the operations tests and benchmarks need: run until stable, submit
+operations, crash/recover/partition peers, and check the PO broadcast
+properties of everything that happened.
+"""
+
+from repro.app.kvstore import KVStateMachine
+from repro.checker import check_all, Trace
+from repro.common.errors import ConfigError
+from repro.net import Network, NetworkConfig
+from repro.sim import Simulator
+from repro.storage.disk import DiskModel
+from repro.zab.config import ZabConfig
+from repro.zab.peer import PeerStorage, ZabPeer
+
+
+class Cluster:
+    """An n-peer Zab ensemble on a simulated network.
+
+    Parameters
+    ----------
+    n_voters:
+        Number of voting peers (ids 1..n).
+    n_observers:
+        Number of observer peers (ids n+1..n+m).
+    seed:
+        Root seed for all randomness (network jitter, election timing).
+    net_config:
+        Optional :class:`~repro.net.network.NetworkConfig`.
+    app_factory:
+        State-machine factory; defaults to the KV store.
+    disk:
+        ``None`` (instant durability), ``"model"`` (one
+        :class:`~repro.storage.disk.DiskModel` per peer — dedicated log
+        devices), or ``"shared"`` (all peers contend on one device —
+        the paper's shared-device anti-pattern, experiment E7).
+    fsync_latency / disk_bandwidth:
+        Parameters for the disk model(s).
+    config_overrides:
+        Extra keyword arguments forwarded to
+        :class:`~repro.zab.config.ZabConfig`.
+    """
+
+    def __init__(self, n_voters, n_observers=0, seed=0, net_config=None,
+                 app_factory=KVStateMachine, disk=None, fsync_latency=0.0005,
+                 disk_bandwidth=200e6, group_commit=True, trace=None,
+                 **config_overrides):
+        if n_voters < 1:
+            raise ConfigError("need at least one voter")
+        self.sim = Simulator(seed=seed)
+        self.network = Network(self.sim, net_config or NetworkConfig())
+        self.trace = trace if trace is not None else Trace()
+        voters = tuple(range(1, n_voters + 1))
+        observers = tuple(
+            range(n_voters + 1, n_voters + n_observers + 1)
+        )
+        self.config = ZabConfig(
+            voters, observers=observers, **config_overrides
+        )
+        shared_disk = None
+        if disk == "shared":
+            shared_disk = DiskModel(
+                self.sim, fsync_latency=fsync_latency,
+                bandwidth_bps=disk_bandwidth,
+            )
+        self.storages = {}
+        self.peers = {}
+        for peer_id in voters + observers:
+            if disk == "model":
+                device = DiskModel(
+                    self.sim, fsync_latency=fsync_latency,
+                    bandwidth_bps=disk_bandwidth,
+                )
+            elif disk == "shared":
+                device = shared_disk
+            elif disk is None:
+                device = None
+            else:
+                raise ConfigError("unknown disk mode: %r" % (disk,))
+            storage = PeerStorage(device, group_commit=group_commit)
+            self.storages[peer_id] = storage
+            self.peers[peer_id] = ZabPeer(
+                self.sim, self.network, peer_id, self.config,
+                app_factory=app_factory, storage=storage, trace=self.trace,
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self):
+        """Boot every peer."""
+        for peer in self.peers.values():
+            peer.start()
+        return self
+
+    def run(self, duration):
+        """Advance virtual time by *duration* seconds."""
+        return self.sim.run_for(duration)
+
+    def run_until(self, predicate, timeout=30.0, step=0.01):
+        """Run until *predicate()* is true or *timeout* sim-seconds pass."""
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            if predicate():
+                return True
+            self.sim.run(until=min(self.sim.now + step, deadline))
+        return bool(predicate())
+
+    def run_until_stable(self, timeout=30.0):
+        """Run until a leader is established and all live peers serve."""
+        ok = self.run_until(self.is_stable, timeout=timeout)
+        if not ok:
+            raise TimeoutError(
+                "cluster not stable after %.1fs: %s"
+                % (timeout, self.describe())
+            )
+        return self.leader()
+
+    def is_stable(self):
+        """True if one live peer leads and every other live peer serves."""
+        live = [peer for peer in self.peers.values() if not peer.crashed]
+        leaders = [peer for peer in live if peer.is_established_leader]
+        if len(leaders) != 1:
+            return False
+        rest = [peer for peer in live if peer is not leaders[0]]
+        return all(peer.is_active_follower for peer in rest)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def leader(self):
+        """The unique established leader, or None."""
+        leaders = [
+            peer
+            for peer in self.peers.values()
+            if not peer.crashed and peer.is_established_leader
+        ]
+        return leaders[0] if len(leaders) == 1 else None
+
+    def describe(self):
+        """One-line status summary, handy in failure messages."""
+        return ", ".join(
+            "%d:%s%s"
+            % (
+                peer_id,
+                "CRASHED" if peer.crashed else peer.state,
+                "*" if not peer.crashed and peer.is_established_leader
+                else "",
+            )
+            for peer_id, peer in sorted(self.peers.items())
+        )
+
+    def states(self):
+        """Copy of each live peer's KV state (for convergence asserts)."""
+        return {
+            peer_id: peer.sm.as_dict()
+            for peer_id, peer in self.peers.items()
+            if not peer.crashed and peer.sm is not None
+        }
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def submit(self, op, callback=None):
+        """Submit a write at the current leader (raises if none)."""
+        leader = self.leader()
+        if leader is None:
+            raise ConfigError("no established leader")
+        return leader.propose_op(op, callback=callback)
+
+    def submit_and_wait(self, op, timeout=10.0):
+        """Submit a write and run the simulation until it commits."""
+        outcome = {}
+
+        def on_commit(result, zxid):
+            outcome["result"] = result
+            outcome["zxid"] = zxid
+
+        self.submit(op, callback=on_commit)
+        if not self.run_until(lambda: "result" in outcome, timeout=timeout):
+            raise TimeoutError("operation %r did not commit" % (op,))
+        return outcome["result"], outcome["zxid"]
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def crash(self, peer_id):
+        self.peers[peer_id].crash()
+
+    def recover(self, peer_id):
+        self.peers[peer_id].recover()
+
+    def partition(self, *groups):
+        self.network.partitions.partition(groups)
+
+    def heal(self):
+        self.network.partitions.heal()
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def check_properties(self):
+        """Check the six PO broadcast properties over the whole run."""
+        return check_all(self.trace)
+
+    def assert_properties(self):
+        """Raise AssertionError with details if any property failed."""
+        report = self.check_properties()
+        if not report.ok:
+            raise AssertionError(
+                "broadcast properties violated: %s"
+                % report.violations[:10]
+            )
+        return report

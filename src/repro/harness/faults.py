@@ -1,0 +1,91 @@
+"""Scheduled fault injection.
+
+A :class:`FaultSchedule` scripts crashes, recoveries, and partitions at
+absolute virtual times against a :class:`~repro.harness.cluster.Cluster`,
+and records what it did (for timeline benchmarks such as E3).
+"""
+
+
+class FaultSchedule:
+    """Declarative fault script bound to a cluster."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.events = []  # (time, description), filled as faults fire
+
+    def _log(self, description):
+        self.events.append((self.cluster.sim.now, description))
+
+    def crash_at(self, time, peer_id):
+        """Crash *peer_id* at absolute sim time *time*."""
+        def fire():
+            self._log("crash peer %d" % peer_id)
+            self.cluster.crash(peer_id)
+
+        self.cluster.sim.schedule_at(time, fire)
+        return self
+
+    def recover_at(self, time, peer_id):
+        """Recover *peer_id* at absolute sim time *time*."""
+        def fire():
+            self._log("recover peer %d" % peer_id)
+            self.cluster.recover(peer_id)
+
+        self.cluster.sim.schedule_at(time, fire)
+        return self
+
+    def crash_leader_at(self, time):
+        """Crash whoever leads at *time* (no-op if nobody does)."""
+        def fire():
+            leader = self.cluster.leader()
+            if leader is not None:
+                self._log("crash leader peer %d" % leader.peer_id)
+                leader.crash()
+
+        self.cluster.sim.schedule_at(time, fire)
+        return self
+
+    def crash_follower_at(self, time):
+        """Crash one active non-leader voter at *time*."""
+        def fire():
+            for peer in self.cluster.peers.values():
+                if (
+                    not peer.crashed
+                    and not peer.is_observer
+                    and peer.is_active_follower
+                ):
+                    self._log("crash follower peer %d" % peer.peer_id)
+                    peer.crash()
+                    return
+
+        self.cluster.sim.schedule_at(time, fire)
+        return self
+
+    def recover_all_at(self, time):
+        """Recover every crashed peer at *time*."""
+        def fire():
+            for peer in self.cluster.peers.values():
+                if peer.crashed:
+                    self._log("recover peer %d" % peer.peer_id)
+                    peer.recover()
+
+        self.cluster.sim.schedule_at(time, fire)
+        return self
+
+    def partition_at(self, time, *groups):
+        """Install a partition at *time*."""
+        def fire():
+            self._log("partition %r" % (groups,))
+            self.cluster.partition(*groups)
+
+        self.cluster.sim.schedule_at(time, fire)
+        return self
+
+    def heal_at(self, time):
+        """Heal all partitions at *time*."""
+        def fire():
+            self._log("heal")
+            self.cluster.heal()
+
+        self.cluster.sim.schedule_at(time, fire)
+        return self

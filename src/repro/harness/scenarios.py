@@ -1,0 +1,115 @@
+"""Canned operational scenarios.
+
+Reusable building blocks for tests, benchmarks, and the CLI: each
+function drives a cluster through a realistic operational pattern and
+returns what happened.  They assume a started, stable cluster.
+"""
+
+from repro.common.errors import ReproError
+
+
+class ScenarioError(ReproError):
+    """A scenario could not complete (e.g. stability never returned)."""
+
+
+def rolling_restart(cluster, settle=1.0, timeout=60.0):
+    """Restart every peer one at a time, leader last.
+
+    The classic zero-downtime upgrade: each peer is crashed, the cluster
+    is given time to re-stabilise, and the peer is recovered and must
+    re-sync before the next one goes down.  Returns the restart order.
+    """
+    order = []
+    leader = cluster.leader()
+    if leader is None:
+        raise ScenarioError("no leader to start from")
+    peer_ids = [
+        peer_id for peer_id in cluster.peers
+        if peer_id != leader.peer_id
+    ] + [leader.peer_id]
+    for peer_id in peer_ids:
+        cluster.crash(peer_id)
+        cluster.run(settle)
+        cluster.recover(peer_id)
+        cluster.run_until_stable(timeout=timeout)
+        order.append(peer_id)
+    return order
+
+
+def flapping_partition(cluster, victim, flaps=5, period=0.4,
+                       timeout=60.0):
+    """Repeatedly isolate and reconnect one peer.
+
+    Models a flaky switch port.  Returns the number of role changes the
+    victim went through (each flap may or may not trigger one, depending
+    on timing vs. the staleness timeout).
+    """
+    peer = cluster.peers[victim]
+    before = len(peer.role_changes)
+    others = {p for p in cluster.peers if p != victim}
+    for _ in range(flaps):
+        cluster.partition({victim}, others)
+        cluster.run(period)
+        cluster.heal()
+        cluster.run(period)
+    cluster.run_until_stable(timeout=timeout)
+    return len(peer.role_changes) - before
+
+
+def leader_churn(cluster, rounds, timeout=60.0, write_between=True):
+    """Crash each successive leader, recovering the previous victim.
+
+    Keeps a quorum alive throughout.  Returns the list of epochs
+    observed, which must be strictly increasing.
+    """
+    epochs = []
+    previous_victim = None
+    for _ in range(rounds):
+        leader = cluster.run_until_stable(timeout=timeout)
+        epochs.append(leader.current_epoch())
+        if write_between:
+            cluster.submit_and_wait(("incr", "churn", 1))
+        victim = leader.peer_id
+        cluster.crash(victim)
+        if previous_victim is not None:
+            cluster.recover(previous_victim)
+        previous_victim = victim
+    cluster.recover(previous_victim)
+    cluster.run_until_stable(timeout=timeout)
+    return epochs
+
+
+def measure_recovery_gap(cluster, rate_probe_interval=0.01, timeout=60.0):
+    """Crash the current leader and measure the write-unavailability gap.
+
+    Returns (gap_seconds, new_leader_id): the time from the crash until
+    a submitted write first commits again.
+    """
+    leader = cluster.leader()
+    if leader is None:
+        raise ScenarioError("no leader")
+    crash_time = cluster.sim.now
+    cluster.crash(leader.peer_id)
+    committed = []
+
+    def probe():
+        if committed:
+            return
+        current = cluster.leader()
+        if current is not None:
+            try:
+                current.propose_op(
+                    ("put", "recovery-probe", cluster.sim.now),
+                    callback=lambda r, z: committed.append(
+                        cluster.sim.now
+                    ),
+                )
+            except Exception:
+                pass
+        cluster.sim.schedule(rate_probe_interval, probe)
+
+    probe()
+    ok = cluster.run_until(lambda: committed, timeout=timeout)
+    if not ok:
+        raise ScenarioError("service did not recover")
+    return committed[0] - crash_time, cluster.leader().peer_id

@@ -1,0 +1,80 @@
+"""Session liveness service for data-tree clusters.
+
+In ZooKeeper, the *leader* owns session liveness: servers relay client
+heartbeats to it, and when a session's timeout lapses the leader
+broadcasts a ``closeSession`` transaction whose delivery removes the
+session's ephemeral nodes deterministically at every replica.
+
+:class:`SessionExpiryService` reproduces that control loop on top of a
+:class:`~repro.harness.cluster.Cluster` running the
+:class:`~repro.app.datatree.DataTreeStateMachine`: it registers sessions
+as their ``create_session`` transactions commit, accepts heartbeats, and
+proposes ``close_session`` for sessions that fall silent.  The tracker
+itself is soft state — it survives leader changes because it keys off
+committed transactions, exactly like ZooKeeper's.
+"""
+
+from repro.app.sessions import SessionTracker
+
+
+class SessionExpiryService:
+    """Drives session creation, heartbeats, and expiry on a cluster."""
+
+    def __init__(self, cluster, check_interval=0.1):
+        self.cluster = cluster
+        self.tracker = SessionTracker(lambda: cluster.sim.now)
+        self.check_interval = check_interval
+        self.expired_log = []
+        self._stopped = False
+        self._arm()
+
+    # ------------------------------------------------------------------
+    # Client-facing operations
+    # ------------------------------------------------------------------
+
+    def open_session(self, session_id, timeout):
+        """Propose create_session; starts tracking once committed."""
+
+        def on_commit(_result, _zxid):
+            self.tracker.register(session_id, timeout)
+
+        self.cluster.submit(
+            ("create_session", session_id, timeout), callback=on_commit
+        )
+
+    def heartbeat(self, session_id):
+        """Record a client heartbeat; False if the session is unknown."""
+        return self.tracker.touch(session_id)
+
+    def close_session(self, session_id):
+        """Gracefully close a session (client logout)."""
+        self.tracker.remove(session_id)
+        self.cluster.submit(("close_session", session_id))
+
+    def stop(self):
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Expiry loop
+    # ------------------------------------------------------------------
+
+    def _arm(self):
+        self.cluster.sim.schedule(self.check_interval, self._check)
+
+    def _check(self):
+        if self._stopped:
+            return
+        leader = self.cluster.leader()
+        if leader is not None:
+            for session_id in self.tracker.expired():
+                self.tracker.remove(session_id)
+                self.expired_log.append(
+                    (self.cluster.sim.now, session_id)
+                )
+                try:
+                    leader.propose_op(("close_session", session_id))
+                except Exception:
+                    # Leader changed underneath us; the session will be
+                    # re-flagged on the next tick.
+                    self.tracker.register(session_id, 0.0)
+        self._arm()

@@ -1,0 +1,22 @@
+"""Simulated message-passing network.
+
+Models what Zab assumes from TCP: reliable, FIFO, per-connection ordered
+delivery between live, connected peers.  On top of that it adds what the
+evaluation needs: per-node NIC bandwidth (the leader's egress link is the
+bottleneck in the paper's saturated-throughput experiment), propagation
+latency with jitter, partitions, and byte/message accounting.
+"""
+
+from repro.net.message import Envelope, payload_size
+from repro.net.network import Network, NetworkConfig
+from repro.net.partitions import PartitionManager
+from repro.net.stats import NetworkStats
+
+__all__ = [
+    "Envelope",
+    "payload_size",
+    "Network",
+    "NetworkConfig",
+    "PartitionManager",
+    "NetworkStats",
+]

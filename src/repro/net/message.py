@@ -1,0 +1,69 @@
+"""Message envelopes and wire-size accounting.
+
+Payloads are ordinary Python objects.  For bandwidth modelling each payload
+reports a *wire size* in bytes: protocol message classes define a
+``wire_size()`` method; anything else is estimated structurally.  The sizes
+feed the NIC serialisation model, so they only need to be proportionally
+right (a 1 KiB write should cost ~1 KiB on the wire), not codec-exact.
+"""
+
+HEADER_BYTES = 64  # rough TCP/IP + framing overhead per message
+
+
+class Envelope:
+    """A payload in flight from *src* to *dst*."""
+
+    __slots__ = ("src", "dst", "payload", "size", "send_time")
+
+    def __init__(self, src, dst, payload, size, send_time):
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size = size
+        self.send_time = send_time
+
+    def __repr__(self):
+        return "<Envelope %s->%s %s (%dB)>" % (
+            self.src,
+            self.dst,
+            type(self.payload).__name__,
+            self.size,
+        )
+
+
+def payload_size(payload):
+    """Estimate the wire size of *payload* in bytes, including headers."""
+    return HEADER_BYTES + _body_size(payload)
+
+
+def _body_size(obj):
+    if obj is None:
+        return 1
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, int):
+        return 8
+    if isinstance(obj, float):
+        return 8
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 8 + sum(_body_size(item) for item in obj)
+    if isinstance(obj, dict):
+        return 8 + sum(
+            _body_size(key) + _body_size(value) for key, value in obj.items()
+        )
+    wire_size = getattr(obj, "wire_size", None)
+    if callable(wire_size):
+        return wire_size()
+    slots = getattr(obj, "__slots__", None)
+    if slots:
+        return 8 + sum(
+            _body_size(getattr(obj, slot, None)) for slot in slots
+        )
+    attrs = getattr(obj, "__dict__", None)
+    if attrs is not None:
+        return 8 + sum(_body_size(value) for value in attrs.values())
+    return 16

@@ -1,0 +1,213 @@
+"""The simulated network fabric.
+
+Guarantees offered to protocol code, mirroring the TCP assumptions in the
+Zab paper (Section on system model):
+
+- **Reliable FIFO per pair**: messages from *src* to *dst* arrive in send
+  order and are not lost while both endpoints stay up and connected.
+- **Crash = connection reset**: messages in flight to a node that crashes
+  (or restarts) before delivery are dropped, like packets of a dead TCP
+  connection.
+- **Partitions** drop messages at send time.
+
+Performance model, used by the benchmarks:
+
+- Each node has an egress NIC of finite bandwidth; concurrent sends from the
+  same node serialise.  This is what makes a Zab leader's throughput fall as
+  ``B / (n - 1)`` in the saturated-throughput experiment.
+- One-way propagation latency with optional uniform jitter.
+"""
+
+from repro.common.errors import ConfigError
+from repro.net.message import Envelope, payload_size
+from repro.net.partitions import PartitionManager
+from repro.net.stats import NetworkStats
+
+# Minimum spacing enforced between two deliveries on the same (src, dst)
+# pair, so jitter can never reorder a FIFO channel.
+_FIFO_EPSILON = 1e-9
+
+
+class NetworkConfig:
+    """Tunable parameters of the network fabric.
+
+    bandwidth_bps
+        Egress NIC capacity per node, in bytes/second.  ``None`` disables
+        the bandwidth model (messages only pay latency).
+    latency
+        Base one-way propagation delay, seconds.
+    jitter
+        Upper bound of uniform extra delay added per message, seconds.
+    loss_rate
+        Probability of silently dropping a message.  Zab assumes reliable
+        channels, so this defaults to 0; tests use it to demonstrate that
+        safety is preserved even when the transport misbehaves.
+    """
+
+    def __init__(self, bandwidth_bps=None, latency=0.0002, jitter=0.00005,
+                 loss_rate=0.0):
+        if latency < 0 or jitter < 0:
+            raise ConfigError("latency and jitter must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ConfigError("loss_rate must be in [0, 1)")
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise ConfigError("bandwidth_bps must be positive or None")
+        self.bandwidth_bps = bandwidth_bps
+        self.latency = latency
+        self.jitter = jitter
+        self.loss_rate = loss_rate
+
+
+class Network:
+    """Routes messages between registered handlers over simulated links."""
+
+    def __init__(self, sim, config=None):
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self.partitions = PartitionManager()
+        self.stats = NetworkStats()
+        self._handlers = {}
+        self._alive = {}
+        self._incarnation = {}
+        self._nic_free_at = {}
+        self._last_arrival = {}
+        self._link_latency = {}   # (src, dst) -> one-way latency override
+        self._node_bandwidth = {}  # node -> egress bytes/s override
+        self._rng = sim.random.stream("network")
+
+    # ------------------------------------------------------------------
+    # Endpoint lifecycle
+    # ------------------------------------------------------------------
+
+    def register(self, node_id, handler):
+        """Attach *handler(src, payload)* as the endpoint for *node_id*.
+
+        Re-registering (after a simulated restart) bumps the node's
+        incarnation, which discards messages that were in flight to the
+        previous incarnation — the moral equivalent of a TCP reset.
+        """
+        self._handlers[node_id] = handler
+        self._alive[node_id] = True
+        self._incarnation[node_id] = self._incarnation.get(node_id, 0) + 1
+        self._nic_free_at.setdefault(node_id, 0.0)
+
+    def set_alive(self, node_id, alive):
+        """Mark a node up or down without changing its handler."""
+        if node_id not in self._handlers:
+            raise ConfigError("unknown node: %r" % (node_id,))
+        self._alive[node_id] = alive
+        if alive:
+            self._incarnation[node_id] += 1
+
+    def is_alive(self, node_id):
+        """True if the node is registered and currently up."""
+        return self._alive.get(node_id, False)
+
+    def set_link_latency(self, src, dst, latency, symmetric=True):
+        """Override the one-way latency of a specific link.
+
+        Used to model heterogeneous topologies (e.g. one replica in a
+        remote datacenter).  Pass ``None`` to restore the default.
+        """
+        if latency is None:
+            self._link_latency.pop((src, dst), None)
+            if symmetric:
+                self._link_latency.pop((dst, src), None)
+            return
+        if latency < 0:
+            raise ConfigError("latency must be non-negative")
+        self._link_latency[(src, dst)] = latency
+        if symmetric:
+            self._link_latency[(dst, src)] = latency
+
+    def set_node_bandwidth(self, node, bandwidth_bps):
+        """Override one node's egress NIC speed (bytes/second).
+
+        Models heterogeneous clusters — e.g. one replica on an older
+        machine.  Pass ``None`` to restore the config default.  Only
+        effective when the bandwidth model is enabled.
+        """
+        if bandwidth_bps is None:
+            self._node_bandwidth.pop(node, None)
+            return
+        if bandwidth_bps <= 0:
+            raise ConfigError("bandwidth must be positive")
+        self._node_bandwidth[node] = bandwidth_bps
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, src, dst, payload):
+        """Queue *payload* for delivery; returns the in-flight envelope.
+
+        Messages to unknown, dead, or partitioned destinations are dropped
+        silently (counted in stats), matching a connect failure.
+        """
+        size = payload_size(payload)
+        self.stats.record_send(src, size, type(payload).__name__)
+        envelope = Envelope(src, dst, payload, size, self.sim.now)
+
+        if not self._alive.get(src, False):
+            self.stats.record_drop()
+            return envelope
+        if dst not in self._handlers:
+            self.stats.record_drop()
+            return envelope
+        if not self.partitions.connected(src, dst):
+            self.stats.record_drop()
+            return envelope
+        if self.config.loss_rate and self._rng.random() < self.config.loss_rate:
+            self.stats.record_drop()
+            return envelope
+
+        arrival = self._arrival_time(src, dst, size)
+        target_incarnation = self._incarnation[dst]
+        self.sim.schedule_at(
+            arrival, self._deliver, envelope, target_incarnation
+        )
+        return envelope
+
+    def broadcast(self, src, dsts, payload):
+        """Send the same payload to every node in *dsts* (serialised on
+        the source NIC, in iteration order)."""
+        for dst in dsts:
+            self.send(src, dst, payload)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _arrival_time(self, src, dst, size):
+        now = self.sim.now
+        if self.config.bandwidth_bps is not None:
+            bandwidth = self._node_bandwidth.get(
+                src, self.config.bandwidth_bps
+            )
+            start = max(now, self._nic_free_at.get(src, 0.0))
+            tx_done = start + size / bandwidth
+            self._nic_free_at[src] = tx_done
+        else:
+            tx_done = now
+        base_latency = self._link_latency.get(
+            (src, dst), self.config.latency
+        )
+        arrival = tx_done + base_latency
+        if self.config.jitter:
+            arrival += self._rng.uniform(0.0, self.config.jitter)
+        # Enforce FIFO per directed pair despite jitter.
+        floor = self._last_arrival.get((src, dst), 0.0) + _FIFO_EPSILON
+        arrival = max(arrival, floor)
+        self._last_arrival[(src, dst)] = arrival
+        return arrival
+
+    def _deliver(self, envelope, target_incarnation):
+        dst = envelope.dst
+        if not self._alive.get(dst, False):
+            self.stats.record_drop()
+            return
+        if self._incarnation.get(dst) != target_incarnation:
+            self.stats.record_drop()
+            return
+        self.stats.record_receive(dst, envelope.size)
+        self._handlers[dst](envelope.src, envelope.payload)

@@ -1,0 +1,61 @@
+"""Network partition bookkeeping.
+
+A partition is expressed as a list of disjoint groups; nodes in different
+groups cannot exchange messages.  Nodes not named in any group form an
+implicit extra group (fully connected among themselves).  Individual links
+can also be cut asymmetrically for finer-grained fault injection.
+"""
+
+from repro.common.errors import ConfigError
+from repro.common.util import pairwise_disjoint
+
+
+class PartitionManager:
+    """Tracks which (src, dst) pairs are currently severed."""
+
+    def __init__(self):
+        self._groups = None
+        self._cut_links = set()
+
+    def partition(self, groups):
+        """Install a partition given as disjoint iterables of node ids."""
+        groups = [frozenset(group) for group in groups]
+        if not pairwise_disjoint(groups):
+            raise ConfigError("partition groups overlap: %r" % (groups,))
+        self._groups = groups
+
+    def heal(self):
+        """Remove the group partition (severed links stay severed)."""
+        self._groups = None
+
+    def cut_link(self, src, dst, symmetric=True):
+        """Sever a single direction (or both) between two nodes."""
+        self._cut_links.add((src, dst))
+        if symmetric:
+            self._cut_links.add((dst, src))
+
+    def restore_link(self, src, dst, symmetric=True):
+        """Undo :meth:`cut_link`."""
+        self._cut_links.discard((src, dst))
+        if symmetric:
+            self._cut_links.discard((dst, src))
+
+    def restore_all_links(self):
+        """Undo every :meth:`cut_link`."""
+        self._cut_links.clear()
+
+    def connected(self, src, dst):
+        """True if a message from *src* can currently reach *dst*."""
+        if (src, dst) in self._cut_links:
+            return False
+        if self._groups is None:
+            return True
+        src_group = self._group_of(src)
+        dst_group = self._group_of(dst)
+        return src_group == dst_group
+
+    def _group_of(self, node):
+        for index, group in enumerate(self._groups):
+            if node in group:
+                return index
+        return -1  # implicit group of unlisted nodes

@@ -1,0 +1,50 @@
+"""Per-node and aggregate traffic accounting."""
+
+import collections
+
+
+class NetworkStats:
+    """Counts messages and bytes sent/received per node."""
+
+    def __init__(self):
+        self.bytes_sent = collections.Counter()
+        self.bytes_received = collections.Counter()
+        self.messages_sent = collections.Counter()
+        self.messages_received = collections.Counter()
+        self.by_type = collections.Counter()        # payload class -> sends
+        self.bytes_by_type = collections.Counter()  # payload class -> bytes
+        self.messages_dropped = 0
+
+    def record_send(self, node, size, payload_type=None):
+        self.bytes_sent[node] += size
+        self.messages_sent[node] += 1
+        if payload_type is not None:
+            self.by_type[payload_type] += 1
+            self.bytes_by_type[payload_type] += size
+
+    def record_receive(self, node, size):
+        self.bytes_received[node] += size
+        self.messages_received[node] += 1
+
+    def record_drop(self):
+        self.messages_dropped += 1
+
+    def total_bytes(self):
+        """Total bytes placed on the wire."""
+        return sum(self.bytes_sent.values())
+
+    def total_messages(self):
+        """Total messages placed on the wire."""
+        return sum(self.messages_sent.values())
+
+    def snapshot(self):
+        """A plain-dict copy, convenient for bench reports."""
+        return {
+            "bytes_sent": dict(self.bytes_sent),
+            "bytes_received": dict(self.bytes_received),
+            "messages_sent": dict(self.messages_sent),
+            "messages_received": dict(self.messages_received),
+            "by_type": dict(self.by_type),
+            "bytes_by_type": dict(self.bytes_by_type),
+            "messages_dropped": self.messages_dropped,
+        }

@@ -1,0 +1,24 @@
+"""Coordination recipes on the replicated data tree.
+
+The classic ZooKeeper patterns — distributed lock, double barrier,
+group membership — implemented purely against the public client API
+(ephemeral/sequential znodes + watches), exactly as the ZooKeeper
+documentation prescribes and as client libraries like Kazoo or Curator
+package them.  They double as end-to-end exercises of the whole stack:
+primary-order broadcast, sessions, watches, and client retry all have
+to cooperate for a lock to be a lock.
+"""
+
+from repro.recipes.barrier import DoubleBarrier
+from repro.recipes.election import LeaderElection
+from repro.recipes.lock import DistributedLock
+from repro.recipes.membership import GroupMembership
+from repro.recipes.queue import DistributedQueue
+
+__all__ = [
+    "DistributedLock",
+    "DistributedQueue",
+    "DoubleBarrier",
+    "GroupMembership",
+    "LeaderElection",
+]

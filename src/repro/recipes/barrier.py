@@ -1,0 +1,73 @@
+"""Double barrier: processes wait until N have entered, compute, then
+wait until all have left (the ZooKeeper recipes-page version).
+
+Entering creates an ephemeral node under the barrier root and watches
+the child list until it reaches the threshold; leaving deletes the node
+and waits for the list to drain.
+"""
+
+
+class DoubleBarrier:
+    """One participant of an N-party double barrier."""
+
+    def __init__(self, client, session_id, root, threshold, name):
+        self.client = client
+        self.session_id = session_id
+        self.root = root
+        self.threshold = threshold
+        self.name = name
+        self.node = "%s/%s" % (root, name)
+        self.entered = False
+        self.left = False
+
+    # -- entering ---------------------------------------------------------
+
+    def enter(self, callback):
+        """Join; *callback()* fires once *threshold* parties are in."""
+        self._enter_callback = callback
+        self.client.submit(
+            ("create", self.node, b"", "e", self.session_id),
+            callback=lambda ok, r, z: self._watch_until_full(),
+        )
+
+    def _watch_until_full(self):
+        self.client.submit(
+            ("children", self.root),
+            callback=self._on_enter_children,
+            watch=lambda event, path: self._watch_until_full(),
+        )
+
+    def _on_enter_children(self, ok, children, _zxid):
+        if not ok or children is None or self.entered:
+            return
+        if len(children) >= self.threshold:
+            self.entered = True
+            callback, self._enter_callback = self._enter_callback, None
+            if callback is not None:
+                callback()
+
+    # -- leaving ------------------------------------------------------------
+
+    def leave(self, callback):
+        """Depart; *callback()* fires once everyone has left."""
+        self._leave_callback = callback
+        self.client.submit(
+            ("delete", self.node, -1),
+            callback=lambda ok, r, z: self._watch_until_empty(),
+        )
+
+    def _watch_until_empty(self):
+        self.client.submit(
+            ("children", self.root),
+            callback=self._on_leave_children,
+            watch=lambda event, path: self._watch_until_empty(),
+        )
+
+    def _on_leave_children(self, ok, children, _zxid):
+        if not ok or children is None or self.left:
+            return
+        if not children:
+            self.left = True
+            callback, self._leave_callback = self._leave_callback, None
+            if callback is not None:
+                callback()

@@ -1,0 +1,48 @@
+"""Client-level leader election (a.k.a. the "leader latch").
+
+Not to be confused with Zab's own Phase-0 election among *servers*:
+this recipe elects one leader among *clients* of the service, using the
+same ephemeral-sequential + watch-the-predecessor structure as the lock
+— the difference is intent and API: a candidate stays enrolled until it
+resigns or its session dies, and observers can ask who currently leads.
+"""
+
+from repro.recipes.lock import DistributedLock
+
+
+class LeaderElection:
+    """One candidate in a client-level election."""
+
+    def __init__(self, client, session_id, root="/election", name=None):
+        self._lock = DistributedLock(client, session_id, root=root)
+        self.client = client
+        self.root = root
+        self.name = name or session_id
+        self.leading = False
+
+    def nominate(self, on_leadership):
+        """Enter the race; *on_leadership(self)* fires when elected."""
+
+        def elected(_lock):
+            self.leading = True
+            on_leadership(self)
+
+        self._lock.acquire(elected)
+
+    def resign(self):
+        """Step down (a new leader emerges from the remaining
+        candidates); the candidate may nominate itself again."""
+        self.leading = False
+        self._lock.release()
+        self._lock = DistributedLock(
+            self._lock.client, self._lock.session_id, root=self.root
+        )
+
+    def current_leader(self, callback):
+        """Ask who leads right now: *callback(candidate_node_or_None)*."""
+        self.client.submit(
+            ("children", self.root),
+            callback=lambda ok, children, z: callback(
+                sorted(children)[0] if ok and children else None
+            ),
+        )

@@ -1,0 +1,100 @@
+"""Distributed lock (the canonical ZooKeeper recipe).
+
+Protocol, verbatim from the ZooKeeper recipes page:
+
+1. create an ephemeral sequential node under the lock root;
+2. list the root's children: if our node has the smallest sequence
+   number, we hold the lock;
+3. otherwise watch the node *directly before ours* (watching the full
+   child list would stampede) and re-check when it disappears.
+
+Ephemerality ties the lock to the session: a crashed holder's session
+expiry deletes its node and wakes the next waiter.
+"""
+
+
+class DistributedLock:
+    """One contender for one lock path.
+
+    Parameters
+    ----------
+    client:
+        A :class:`repro.client.Client`.
+    session_id:
+        An open session (``create_session`` committed) that owns our
+        ephemeral node.
+    root:
+        The lock's root znode (must exist).
+    """
+
+    def __init__(self, client, session_id, root="/lock"):
+        self.client = client
+        self.session_id = session_id
+        self.root = root
+        self.my_node = None
+        self.holding = False
+        self._acquire_callback = None
+
+    # ------------------------------------------------------------------
+
+    def acquire(self, callback):
+        """Start contending; *callback(lock)* fires once we hold it."""
+        if self.my_node is not None:
+            raise RuntimeError("already contending")
+        self._acquire_callback = callback
+        self.client.submit(
+            ("create", self.root + "/c-", b"", "es", self.session_id),
+            callback=self._on_created,
+        )
+
+    def release(self):
+        """Give the lock up (delete our node)."""
+        if self.my_node is None:
+            return
+        node, self.my_node = self.my_node, None
+        self.holding = False
+        self.client.submit(("delete", node, -1))
+
+    # ------------------------------------------------------------------
+
+    def _on_created(self, ok, result, _zxid):
+        if not ok or not isinstance(result, str):
+            # Creation failed (e.g. session expired): report by never
+            # acquiring; callers time out and retry at their level.
+            return
+        self.my_node = result
+        self._check()
+
+    def _check(self):
+        if self.my_node is None:
+            return  # released while checking
+        self.client.submit(
+            ("children", self.root), callback=self._on_children
+        )
+
+    def _on_children(self, ok, children, _zxid):
+        if not ok or self.my_node is None or children is None:
+            return
+        my_name = self.my_node.rsplit("/", 1)[1]
+        if my_name not in children:
+            return  # our node vanished (session expired)
+        ordered = sorted(children)
+        index = ordered.index(my_name)
+        if index == 0:
+            self.holding = True
+            callback, self._acquire_callback = (
+                self._acquire_callback, None
+            )
+            if callback is not None:
+                callback(self)
+            return
+        predecessor = "%s/%s" % (self.root, ordered[index - 1])
+        # Watch only the predecessor; re-check when it goes away.  The
+        # exists-read also closes the race where it vanished already.
+        self.client.submit(
+            ("exists", predecessor),
+            callback=lambda ok, exists, z: (
+                self._check() if ok and not exists else None
+            ),
+            watch=lambda event, path: self._check(),
+        )

@@ -1,0 +1,67 @@
+"""Group membership: who is alive right now?
+
+Each member registers an ephemeral node carrying its metadata; watchers
+track the child list and re-arm their watch on every change.  Session
+expiry removes crashed members automatically — the recipe that makes
+ZooKeeper the de-facto service-discovery backbone.
+"""
+
+
+class GroupMembership:
+    """Join a group and/or observe its membership."""
+
+    def __init__(self, client, root="/group"):
+        self.client = client
+        self.root = root
+        self.members = []
+        self.changes = []        # history of memberships seen
+        self._listener = None
+        self._watching = False
+
+    # -- joining ------------------------------------------------------------
+
+    def join(self, session_id, name, metadata=b"", callback=None):
+        """Register *name* as a live member under *session_id*."""
+        self.client.submit(
+            ("create", "%s/%s" % (self.root, name), metadata, "e",
+             session_id),
+            callback=lambda ok, result, z: (
+                callback(ok and isinstance(result, str))
+                if callback is not None else None
+            ),
+        )
+
+    def leave(self, name, callback=None):
+        """Deregister explicitly (crash/expiry does it implicitly)."""
+        self.client.submit(
+            ("delete", "%s/%s" % (self.root, name), -1),
+            callback=lambda ok, result, z: (
+                callback(ok) if callback is not None else None
+            ),
+        )
+
+    # -- observing ------------------------------------------------------------
+
+    def watch(self, listener):
+        """Track membership; *listener(members)* fires on every change
+        (and once with the initial membership)."""
+        self._listener = listener
+        if not self._watching:
+            self._watching = True
+            self._refresh()
+
+    def _refresh(self):
+        self.client.submit(
+            ("children", self.root),
+            callback=self._on_children,
+            watch=lambda event, path: self._refresh(),
+        )
+
+    def _on_children(self, ok, children, _zxid):
+        if not ok or children is None:
+            return
+        if children != self.members:
+            self.members = children
+            self.changes.append(list(children))
+            if self._listener is not None:
+                self._listener(list(children))

@@ -1,0 +1,99 @@
+"""Distributed FIFO queue (the ZooKeeper recipes-page design).
+
+Producers enqueue by creating *persistent sequential* nodes under the
+queue root; the sequence number is the FIFO order.  A consumer takes the
+lowest-numbered element by reading it and then deleting it — the delete
+is the atomic claim: if two consumers race, exactly one delete succeeds
+and the loser moves on to the next element.
+"""
+
+
+class _TakeOp:
+    """One pending dequeue; guards against double delivery (a stale
+    children watch can fire after the element was already claimed)."""
+
+    __slots__ = ("callback", "done")
+
+    def __init__(self, callback):
+        self.callback = callback
+        self.done = False
+
+    def finish(self, payload):
+        if not self.done:
+            self.done = True
+            self.callback(payload)
+
+
+class DistributedQueue:
+    """One producer/consumer handle on a queue root."""
+
+    def __init__(self, client, root="/queue"):
+        self.client = client
+        self.root = root
+
+    # -- producing ---------------------------------------------------------
+
+    def put(self, payload, callback=None):
+        """Enqueue *payload* (bytes); *callback(path)* on commit."""
+        self.client.submit(
+            ("create", self.root + "/item-", payload, "s", None),
+            callback=lambda ok, result, z: (
+                callback(result if ok else None)
+                if callback is not None else None
+            ),
+        )
+
+    # -- consuming -----------------------------------------------------------
+
+    def take(self, callback):
+        """Dequeue the head element; *callback(payload)* when claimed.
+
+        Blocks (via watches) while the queue is empty.  Safe under
+        concurrent consumers: the claim is a delete, so every element is
+        delivered to exactly one taker.
+        """
+        self._attempt(_TakeOp(callback))
+
+    def _attempt(self, op):
+        if op.done:
+            return
+        self.client.submit(
+            ("children", self.root),
+            callback=lambda ok, children, z: self._on_children(
+                ok, children, op
+            ),
+            watch=lambda event, path: self._attempt(op),
+        )
+
+    def _on_children(self, ok, children, op):
+        if op.done or not ok or children is None:
+            return
+        if not children:
+            return  # the watch armed by _attempt wakes us later
+        head = "%s/%s" % (self.root, sorted(children)[0])
+        self.client.submit(
+            ("get", head),
+            callback=lambda ok, payload, z: self._claim(
+                ok, head, payload, op
+            ),
+        )
+
+    def _claim(self, ok, head, payload, op):
+        if op.done:
+            return
+        if not ok or payload is None:
+            # Someone else claimed it between our list and read.
+            self._attempt(op)
+            return
+        self.client.submit(
+            ("delete", head, -1),
+            callback=lambda ok, result, z: self._on_delete(
+                ok, result, payload, op
+            ),
+        )
+
+    def _on_delete(self, ok, result, payload, op):
+        if ok and isinstance(result, str):
+            op.finish(payload)            # the delete succeeded: ours
+        else:
+            self._attempt(op)             # lost the race; try again

@@ -1,0 +1,14 @@
+"""Deterministic discrete-event simulation kernel.
+
+The whole reproduction runs on virtual time: peers, disks, and network links
+schedule callbacks on a single :class:`Simulator` event queue.  Given the
+same seed, every run is bit-for-bit reproducible, which is what makes the
+protocol tests and the failure-injection benchmarks meaningful.
+"""
+
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.random import SplitRandom
+
+__all__ = ["Event", "Simulator", "Process", "SplitRandom"]

@@ -1,0 +1,50 @@
+"""Scheduled events for the simulation kernel."""
+
+import functools
+
+
+@functools.total_ordering
+class Event:
+    """A callback scheduled at a point in virtual time.
+
+    Events are ordered by ``(time, seq)``; *seq* is a monotonically
+    increasing tie-breaker assigned by the simulator so that two events
+    scheduled for the same instant fire in scheduling order.  Cancelled
+    events stay in the heap but are skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time, seq, fn, args=()):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the event from firing; safe to call more than once."""
+        self.cancelled = True
+        self.fn = None
+        self.args = ()
+
+    def fire(self):
+        """Invoke the callback unless the event was cancelled."""
+        if self.cancelled:
+            return
+        fn, args = self.fn, self.args
+        self.cancel()
+        fn(*args)
+
+    def __hash__(self):
+        return self.seq  # seq is unique per simulator
+
+    def __eq__(self, other):
+        return (self.time, self.seq) == (other.time, other.seq)
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return "<Event t=%.6f seq=%d %s>" % (self.time, self.seq, state)

@@ -1,0 +1,92 @@
+"""The simulation event loop."""
+
+import heapq
+
+from repro.common.errors import ReproError
+from repro.sim.events import Event
+from repro.sim.random import SplitRandom
+
+
+class SimulationLimitError(ReproError):
+    """The simulator processed more events than the configured bound."""
+
+
+class Simulator:
+    """Single-threaded virtual-time event loop.
+
+    All simulated components share one simulator.  Time is a float in
+    seconds.  Components schedule callbacks with :meth:`schedule` (relative
+    delay) or :meth:`schedule_at` (absolute time) and the loop runs them in
+    timestamp order via :meth:`run`.
+    """
+
+    def __init__(self, seed=0):
+        self._queue = []
+        self._seq = 0
+        self._now = 0.0
+        self._events_fired = 0
+        self.random = SplitRandom(seed)
+
+    @property
+    def now(self):
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self):
+        """Total number of events executed so far."""
+        return self._events_fired
+
+    def schedule(self, delay, fn, *args):
+        """Run ``fn(*args)`` after *delay* seconds of virtual time."""
+        if delay < 0:
+            raise ValueError("negative delay: %r" % delay)
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time, fn, *args):
+        """Run ``fn(*args)`` at absolute virtual *time*."""
+        if time < self._now:
+            raise ValueError(
+                "cannot schedule in the past: %r < now=%r" % (time, self._now)
+            )
+        event = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def pending(self):
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def run(self, until=None, max_events=None):
+        """Process events in order.
+
+        Stops when the queue drains, when virtual time would exceed *until*,
+        or after *max_events* callbacks.  Returns the virtual time at which
+        the loop stopped.
+        """
+        fired = 0
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and event.time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = event.time
+            event.fire()
+            self._events_fired += 1
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                raise SimulationLimitError(
+                    "stopped after %d events at t=%.6f" % (fired, self._now)
+                )
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_for(self, duration):
+        """Advance virtual time by *duration* seconds, processing events."""
+        return self.run(until=self._now + duration)

@@ -1,0 +1,30 @@
+"""Crash-durable storage for Zab peers.
+
+Zab's crash-recovery model relies on three durable artifacts per peer:
+
+- the **transaction log** (:class:`TxnLog`) — accepted proposals, fsynced
+  before acknowledging, truncatable during synchronisation;
+- **snapshots** (:class:`SnapshotStore`) — periodic serialised copies of the
+  application state, enabling SNAP-style sync and log purging;
+- the **epoch files** (:class:`EpochStore`) — ``acceptedEpoch`` and
+  ``currentEpoch``, persisted during the discovery and synchronisation
+  phases.
+
+Timing (fsync latency, device bandwidth, shared-device contention) is
+modelled by :class:`DiskModel` so the benchmarks can reproduce the paper's
+"dedicated log device" testbed note.
+"""
+
+from repro.storage.disk import DiskModel, NullDisk
+from repro.storage.epochstore import EpochStore
+from repro.storage.snapshot import Snapshot, SnapshotStore
+from repro.storage.txnlog import TxnLog
+
+__all__ = [
+    "DiskModel",
+    "NullDisk",
+    "EpochStore",
+    "Snapshot",
+    "SnapshotStore",
+    "TxnLog",
+]

@@ -1,0 +1,47 @@
+"""Durable epoch variables.
+
+Zab's discovery phase persists ``acceptedEpoch`` (the latest NEWEPOCH a peer
+has acknowledged) before replying, and the synchronisation phase persists
+``currentEpoch`` (the epoch whose history the peer has adopted) before
+acknowledging NEWLEADER.  Both must survive crashes; losing either breaks
+the protocol's epoch-uniqueness argument.
+"""
+
+
+class EpochStore:
+    """Stable storage for the two epoch variables of one peer."""
+
+    def __init__(self, accepted_epoch=0, current_epoch=0):
+        self._accepted_epoch = accepted_epoch
+        self._current_epoch = current_epoch
+        self.persist_count = 0
+
+    @property
+    def accepted_epoch(self):
+        """Latest epoch this peer promised to join (f.p in the paper)."""
+        return self._accepted_epoch
+
+    @property
+    def current_epoch(self):
+        """Epoch of the history this peer currently follows (f.a)."""
+        return self._current_epoch
+
+    def set_accepted_epoch(self, epoch):
+        """Persist a new accepted epoch; must never move backwards."""
+        if epoch < self._accepted_epoch:
+            raise ValueError(
+                "acceptedEpoch may not regress: %d < %d"
+                % (epoch, self._accepted_epoch)
+            )
+        self._accepted_epoch = epoch
+        self.persist_count += 1
+
+    def set_current_epoch(self, epoch):
+        """Persist a new current epoch; must never move backwards."""
+        if epoch < self._current_epoch:
+            raise ValueError(
+                "currentEpoch may not regress: %d < %d"
+                % (epoch, self._current_epoch)
+            )
+        self._current_epoch = epoch
+        self.persist_count += 1

@@ -1,0 +1,224 @@
+"""File-backed stable storage.
+
+The simulator keeps durable state in memory for speed, which is fine for
+protocol experiments but leaves the real persistence code paths
+unexercised.  This module provides drop-in file-backed variants of the
+three stable-storage primitives — the transaction log mirrors into a
+checksummed :class:`~repro.storage.journal.FileJournal`, epochs into a
+tiny text file, snapshots into pickle files — plus
+:class:`StorageDirectory`, which owns one peer's on-disk layout and can
+reconstruct the whole stable state from the files alone (the
+"power-cycled machine" recovery path, exercised by the tests).
+
+Layout under ``<root>/peer-<id>/``::
+
+    txn.journal      append-only log (length+crc32-framed pickle records)
+    txn.meta         pickled purge boundary (zxid or None)
+    epochs           "acceptedEpoch currentEpoch"
+    snapshot.<n>     pickled (last_zxid, state, size), n increasing
+"""
+
+import os
+import pickle
+
+from repro.storage.epochstore import EpochStore
+from repro.storage.journal import FileJournal
+from repro.storage.records import LogRecord
+from repro.storage.snapshot import SnapshotStore
+from repro.storage.txnlog import TxnLog
+
+
+class JournaledTxnLog(TxnLog):
+    """A TxnLog that mirrors its durable contents into a FileJournal.
+
+    The journal records ``(zxid, (txn, size))`` pairs; truncation and
+    snapshot resets rewrite the file (a real WAL would segment and drop
+    whole files — rewriting keeps the format trivial at simulation
+    scales).  The purge boundary goes into a sidecar meta file so a
+    reload can distinguish "log starts at genesis" from "prefix lives in
+    a snapshot".
+    """
+
+    def __init__(self, journal, meta_path, disk=None, group_commit=True):
+        TxnLog.__init__(self, disk, group_commit=group_commit)
+        self._journal = journal
+        self._meta_path = meta_path
+        self._write_meta()
+
+    # -- mirroring ----------------------------------------------------
+
+    def _install(self, record):
+        TxnLog._install(self, record)
+        self._journal.append(record.zxid, (record.txn, record.size))
+
+    def _rewrite_journal(self):
+        self._journal.rewrite([
+            (record.zxid, (record.txn, record.size))
+            for record in self.all_entries()
+        ])
+
+    def _write_meta(self):
+        tmp = self._meta_path + ".tmp"
+        with open(tmp, "wb") as f:
+            pickle.dump(self.purged_through(), f,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, self._meta_path)
+
+    # -- overridden mutations -------------------------------------------
+
+    def truncate(self, zxid):
+        dropped = TxnLog.truncate(self, zxid)
+        if dropped:
+            self._rewrite_journal()
+        return dropped
+
+    def purge_through(self, zxid):
+        TxnLog.purge_through(self, zxid)
+        self._rewrite_journal()
+        self._write_meta()
+
+    def reset_to_snapshot(self, zxid):
+        TxnLog.reset_to_snapshot(self, zxid)
+        self._rewrite_journal()
+        self._write_meta()
+
+    def replace_with(self, records, purged_through=None):
+        # Drop the old journal contents first; the per-record installs
+        # then append the new history.
+        self._journal.rewrite([])
+        TxnLog.replace_with(self, records, purged_through=purged_through)
+        self._write_meta()
+
+    # -- reload ------------------------------------------------------------
+
+    def restore_from_files(self):
+        """Populate in-memory state from the journal + meta files."""
+        with open(self._meta_path, "rb") as f:
+            purged = pickle.load(f)
+        if purged is not None:
+            TxnLog.reset_to_snapshot(self, purged)
+        for zxid, (txn, size) in self._journal.replay():
+            TxnLog._install(self, LogRecord(zxid, txn, size))
+        return len(self)
+
+
+class FileEpochStore(EpochStore):
+    """EpochStore persisted to a one-line text file."""
+
+    def __init__(self, path, accepted_epoch=0, current_epoch=0):
+        EpochStore.__init__(self, accepted_epoch, current_epoch)
+        self._path = path
+        self._write()
+
+    def _write(self):
+        tmp = self._path + ".tmp"
+        with open(tmp, "w") as f:
+            f.write("%d %d\n" % (self.accepted_epoch, self.current_epoch))
+        os.replace(tmp, self._path)
+
+    def set_accepted_epoch(self, epoch):
+        EpochStore.set_accepted_epoch(self, epoch)
+        self._write()
+
+    def set_current_epoch(self, epoch):
+        EpochStore.set_current_epoch(self, epoch)
+        self._write()
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as f:
+            accepted, current = f.read().split()
+        return cls(path, int(accepted), int(current))
+
+
+class FileSnapshotStore(SnapshotStore):
+    """SnapshotStore persisted as numbered pickle files."""
+
+    def __init__(self, directory, retain=3):
+        SnapshotStore.__init__(self, retain=retain)
+        self._directory = directory
+        self._next_index = 0
+
+    def _snapshot_names(self):
+        return sorted(
+            name for name in os.listdir(self._directory)
+            if name.startswith("snapshot.") and not name.endswith(".tmp")
+        )
+
+    def save(self, last_zxid, state, size):
+        snapshot = SnapshotStore.save(self, last_zxid, state, size)
+        path = os.path.join(
+            self._directory, "snapshot.%06d" % self._next_index
+        )
+        self._next_index += 1
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as f:
+            pickle.dump((last_zxid, state, size), f,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        self._gc()
+        return snapshot
+
+    def _gc(self):
+        names = self._snapshot_names()
+        for name in names[: max(0, len(names) - self._retain)]:
+            os.unlink(os.path.join(self._directory, name))
+
+    def restore_from_files(self):
+        """Re-populate the in-memory list from the snapshot files."""
+        names = self._snapshot_names()
+        for name in names:
+            with open(os.path.join(self._directory, name), "rb") as f:
+                last_zxid, state, size = pickle.load(f)
+            SnapshotStore.save(self, last_zxid, state, size)
+        if names:
+            self._next_index = int(names[-1].split(".")[1]) + 1
+        return len(names)
+
+
+class StorageDirectory:
+    """One peer's on-disk stable-storage root."""
+
+    def __init__(self, root, peer_id):
+        self.path = os.path.join(root, "peer-%d" % peer_id)
+        os.makedirs(self.path, exist_ok=True)
+        self.journal_path = os.path.join(self.path, "txn.journal")
+        self.meta_path = os.path.join(self.path, "txn.meta")
+        self.epochs_path = os.path.join(self.path, "epochs")
+
+    def create(self, disk=None, group_commit=True):
+        """Fresh file-backed components for a first boot.
+
+        Returns kwargs for :class:`repro.zab.peer.PeerStorage`.
+        """
+        journal = FileJournal(self.journal_path).open()
+        return {
+            "log": JournaledTxnLog(
+                journal, self.meta_path, disk=disk,
+                group_commit=group_commit,
+            ),
+            "epochs": FileEpochStore(self.epochs_path),
+            "snapshots": FileSnapshotStore(self.path),
+        }
+
+    def reload(self, disk=None, group_commit=True):
+        """Reconstruct stable state purely from the files.
+
+        This is the power-cycle path: nothing in memory survives.  The
+        journal is replayed (tolerating a torn tail), the purge boundary
+        and epochs re-read, and snapshot files re-indexed.
+        """
+        journal = FileJournal(self.journal_path).open()
+        journal.replay()  # position after the last valid record
+        log = JournaledTxnLog.__new__(JournaledTxnLog)
+        TxnLog.__init__(log, disk, group_commit=group_commit)
+        log._journal = journal
+        log._meta_path = self.meta_path
+        log.restore_from_files()
+        snapshots = FileSnapshotStore(self.path)
+        snapshots.restore_from_files()
+        return {
+            "log": log,
+            "epochs": FileEpochStore.load(self.epochs_path),
+            "snapshots": snapshots,
+        }

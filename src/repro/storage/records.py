@@ -1,0 +1,9 @@
+"""Log record representation."""
+
+import collections
+
+# A single accepted proposal persisted in the transaction log.
+#   zxid : the (epoch, counter) transaction id, totally ordered
+#   txn  : the application-level idempotent state delta
+#   size : wire/disk footprint in bytes, used by sync-cost accounting
+LogRecord = collections.namedtuple("LogRecord", ["zxid", "txn", "size"])

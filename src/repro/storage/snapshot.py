@@ -1,0 +1,64 @@
+"""Application-state snapshots.
+
+ZooKeeper takes *fuzzy* snapshots: the state is serialised while new
+transactions keep applying, which is safe because transactions are
+idempotent deltas.  Here a snapshot is an opaque serialised blob tagged with
+the zxid of the last transaction it reflects.  Snapshots enable:
+
+- SNAP synchronisation (ship the whole state to a far-behind follower);
+- log purging (records at or below the snapshot zxid can be dropped).
+"""
+
+
+class Snapshot:
+    """One serialised copy of the application state."""
+
+    __slots__ = ("last_zxid", "state", "size")
+
+    def __init__(self, last_zxid, state, size):
+        self.last_zxid = last_zxid
+        self.state = state
+        self.size = size
+
+    def wire_size(self):
+        """Bytes this snapshot occupies when shipped over the network."""
+        return self.size
+
+    def __repr__(self):
+        return "<Snapshot zxid=%r %dB>" % (self.last_zxid, self.size)
+
+
+class SnapshotStore:
+    """Retains the most recent snapshots of one peer."""
+
+    def __init__(self, retain=3):
+        if retain < 1:
+            raise ValueError("must retain at least one snapshot")
+        self._retain = retain
+        self._snapshots = []
+        self.saves = 0
+
+    def save(self, last_zxid, state, size):
+        """Persist a snapshot reflecting transactions up to *last_zxid*."""
+        snapshot = Snapshot(last_zxid, state, size)
+        self._snapshots.append(snapshot)
+        if len(self._snapshots) > self._retain:
+            del self._snapshots[: len(self._snapshots) - self._retain]
+        self.saves += 1
+        return snapshot
+
+    def latest(self):
+        """The most recent snapshot, or None."""
+        if not self._snapshots:
+            return None
+        return self._snapshots[-1]
+
+    def latest_at_or_before(self, zxid):
+        """The newest snapshot whose zxid is <= *zxid*, or None."""
+        for snapshot in reversed(self._snapshots):
+            if snapshot.last_zxid <= zxid:
+                return snapshot
+        return None
+
+    def __len__(self):
+        return len(self._snapshots)

@@ -1,0 +1,35 @@
+"""Zab: primary-order atomic broadcast (the paper's core contribution).
+
+The package implements the full protocol described in the DSN'11 paper:
+
+- :mod:`repro.zab.zxid` — (epoch, counter) transaction identifiers;
+- :mod:`repro.zab.quorum` — majority / weighted / hierarchical quorums;
+- :mod:`repro.zab.election` — Fast Leader Election (Phase 0 oracle);
+- :mod:`repro.zab.leader` / :mod:`repro.zab.follower` — the discovery
+  (Phase 1), synchronisation (Phase 2) and broadcast (Phase 3) state
+  machines;
+- :mod:`repro.zab.peer` — the QuorumPeer that ties them together over the
+  simulated network and storage.
+"""
+
+from repro.zab.config import ZabConfig
+from repro.zab.peer import PeerState, ZabPeer
+from repro.zab.quorum import (
+    HierarchicalQuorum,
+    MajorityQuorum,
+    QuorumVerifier,
+    WeightedQuorum,
+)
+from repro.zab.zxid import Zxid, ZXID_ZERO
+
+__all__ = [
+    "ZabConfig",
+    "PeerState",
+    "ZabPeer",
+    "QuorumVerifier",
+    "MajorityQuorum",
+    "WeightedQuorum",
+    "HierarchicalQuorum",
+    "Zxid",
+    "ZXID_ZERO",
+]

@@ -1,0 +1,522 @@
+"""Leader-side protocol: discovery, synchronisation, broadcast.
+
+One :class:`LeaderContext` exists per leadership attempt.  Life cycle:
+
+1. **Discovery** — collect FOLLOWERINFO from a quorum, propose the new
+   epoch ``e' = max(acceptedEpochs) + 1``, collect ACKEPOCH, and adopt the
+   most recent history among the quorum (fetching it from a follower in
+   the rare case that follower is fresher than the leader).
+2. **Synchronisation** — bring each follower to the adopted initial
+   history (DIFF / TRUNC / SNAP), send NEWLEADER(e'), and establish once a
+   quorum has acknowledged.
+3. **Broadcast** — pipelined two-phase commit: assign zxids ``(e', n)``,
+   log + PROPOSE, count quorum ACKs, COMMIT in order.  Late followers are
+   synchronised individually and join the broadcast stream.
+
+The leader abdicates (peer returns to LOOKING) if it cannot establish
+within ``init_limit`` ticks or later loses contact with a quorum.
+"""
+
+from repro.app.statemachine import Txn
+from repro.zab import messages
+from repro.zab.pipeline import Batcher, OutstandingWindow, PendingRequest
+from repro.zab.sync import make_sync_plan
+from repro.zab.zxid import Zxid, ZXID_ZERO
+
+PHASE_DISCOVERY = "discovery"
+PHASE_FETCH = "fetch-history"
+PHASE_SYNC = "synchronization"
+PHASE_BROADCAST = "broadcast"
+
+
+class _FollowerHandle:
+    """Per-learner connection state at the leader."""
+
+    __slots__ = (
+        "peer_id",
+        "is_observer",
+        "last_contact",
+        "last_ack",
+        "epoch_sent",
+        "ackepoch",
+        "in_stream",
+        "synced",
+    )
+
+    def __init__(self, peer_id, is_observer, now):
+        self.peer_id = peer_id
+        self.is_observer = is_observer
+        self.last_contact = now
+        self.last_ack = now      # last proposal acknowledgement
+        self.epoch_sent = False
+        self.ackepoch = None     # (current_epoch, last_zxid)
+        self.in_stream = False   # receives PROPOSE/COMMIT (or INFORM)
+        self.synced = False      # acknowledged NEWLEADER
+
+
+class _Proposal:
+    """An outstanding broadcast transaction awaiting quorum ACKs."""
+
+    __slots__ = ("txn", "size", "acks", "proposed_at")
+
+    def __init__(self, txn, size, proposed_at):
+        self.txn = txn
+        self.size = size
+        self.acks = set()
+        self.proposed_at = proposed_at
+
+
+class LeaderContext:
+    """Drives one leadership attempt of *peer*."""
+
+    def __init__(self, peer):
+        self.peer = peer
+        self.config = peer.config
+        self.epoch = None
+        self.phase = PHASE_DISCOVERY
+        self.established = False
+        self.handles = {}
+        self.followerinfos = {
+            peer.peer_id: peer.storage.epochs.accepted_epoch
+        }
+        self.ackepochs = {peer.peer_id: self._own_position()}
+        self.acked_newleader = set()
+        self.counter = 0
+        self.proposals = OutstandingWindow()
+        self.pending = []
+        self.spec_sm = None
+        self.batcher = Batcher(
+            peer, self.config.max_batch, self.config.batch_delay,
+            self._propose_batch,
+        )
+        self._fetching_from = None
+        self._handshake_timer = None
+        self._ping_timer = None
+        self._snapshot_cache = None
+        self.commits = 0
+        self.sync_modes = {}       # sync mode -> count of learners served
+        self._sync_waiters = []    # (barrier_zxid, peer_id, cookie)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self):
+        self._handshake_timer = self.peer.set_timer(
+            self.config.handshake_timeout(), self._handshake_expired
+        )
+        # A single-peer ensemble is a quorum by itself.
+        self._try_decide_epoch()
+
+    def close(self):
+        """Cancel timers; called when the peer leaves LEADING."""
+        for timer in (self._handshake_timer, self._ping_timer):
+            if timer is not None:
+                self.peer.cancel_timer(timer)
+        self._handshake_timer = None
+        self._ping_timer = None
+        self.batcher.close()
+
+    def _handshake_expired(self):
+        self._handshake_timer = None
+        if not self.established:
+            self.peer.go_looking("leader handshake timed out")
+
+    def _own_position(self):
+        epochs = self.peer.storage.epochs
+        last = self.peer.storage.log.last_durable() or ZXID_ZERO
+        return (epochs.current_epoch, last)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+
+    def on_message(self, src, msg):
+        handle = self.handles.get(src)
+        if handle is not None:
+            handle.last_contact = self.peer.sim.now
+        if isinstance(msg, messages.FollowerInfo):
+            self._on_follower_info(src, msg)
+        elif isinstance(msg, messages.AckEpoch):
+            self._on_ack_epoch(src, msg)
+        elif isinstance(msg, messages.HistoryResponse):
+            self._on_history_response(src, msg)
+        elif isinstance(msg, messages.AckNewLeader):
+            self._on_ack_new_leader(src, msg)
+        elif isinstance(msg, messages.Ack):
+            self._on_ack(src, msg.zxid)
+        elif isinstance(msg, messages.Pong):
+            pass  # last_contact already refreshed above
+        elif isinstance(msg, messages.SyncRequest):
+            self._on_sync_request(src, msg)
+        elif isinstance(msg, messages.ForwardedRequest):
+            self.submit(
+                PendingRequest(
+                    msg.request_id, msg.client, msg.origin, msg.op, msg.size
+                )
+            )
+        # anything else is stale traffic from an older role; ignore
+
+    # ------------------------------------------------------------------
+    # Phase 1: discovery
+    # ------------------------------------------------------------------
+
+    def _on_follower_info(self, src, msg):
+        handle = self.handles.get(src)
+        if handle is None:
+            handle = _FollowerHandle(
+                src, src in self.config.observers, self.peer.sim.now
+            )
+            self.handles[src] = handle
+        # A reconnecting learner restarts its handshake from scratch.
+        handle.epoch_sent = False
+        handle.ackepoch = None
+        handle.in_stream = False
+        handle.synced = False
+        if not handle.is_observer:
+            self.followerinfos[src] = msg.accepted_epoch
+        if self.epoch is None:
+            self._try_decide_epoch()
+        else:
+            self._send_new_epoch(handle)
+
+    def _try_decide_epoch(self):
+        voters = set(self.followerinfos)
+        if not self.config.quorum.contains_quorum(voters):
+            return
+        self.epoch = max(self.followerinfos.values()) + 1
+        self.peer.storage.epochs.set_accepted_epoch(self.epoch)
+        for handle in self.handles.values():
+            self._send_new_epoch(handle)
+        # The leader "acks" its own NEWEPOCH implicitly via ackepochs.
+        self._maybe_finish_discovery()
+
+    def _send_new_epoch(self, handle):
+        if self.epoch is not None and not handle.epoch_sent:
+            handle.epoch_sent = True
+            self.peer.send(handle.peer_id, messages.NewEpoch(self.epoch))
+
+    def _on_ack_epoch(self, src, msg):
+        handle = self.handles.get(src)
+        if handle is None:
+            return
+        handle.ackepoch = (msg.current_epoch, msg.last_zxid or ZXID_ZERO)
+        if self.phase == PHASE_DISCOVERY:
+            if not handle.is_observer:
+                self.ackepochs[src] = handle.ackepoch
+            self._maybe_finish_discovery()
+        elif self.phase in (PHASE_SYNC, PHASE_BROADCAST):
+            # Late joiner: synchronise it individually.
+            self._sync_follower(handle)
+
+    def _maybe_finish_discovery(self):
+        if self.phase != PHASE_DISCOVERY or self.epoch is None:
+            return
+        if not self.config.quorum.contains_quorum(set(self.ackepochs)):
+            return
+        best = max(
+            self.ackepochs, key=lambda peer_id: self.ackepochs[peer_id]
+        )
+        if self.ackepochs[best] > self.ackepochs[self.peer.peer_id]:
+            # Rare path: a follower's history is fresher than ours — fetch
+            # it wholesale before synchronising anyone (paper Phase 1,
+            # "the leader adopts the most recent history").
+            self.phase = PHASE_FETCH
+            self._fetching_from = best
+            self.peer.send(best, messages.HistoryRequest())
+        else:
+            self._enter_sync()
+
+    def _on_history_response(self, src, msg):
+        if self.phase != PHASE_FETCH or src != self._fetching_from:
+            return
+        self.peer.adopt_history(msg.snapshot, msg.records)
+        self._fetching_from = None
+        self._enter_sync()
+
+    # ------------------------------------------------------------------
+    # Phase 2: synchronisation
+    # ------------------------------------------------------------------
+
+    def _enter_sync(self):
+        self.phase = PHASE_SYNC
+        # Self-ack of NEWLEADER: persist currentEpoch = e'.
+        self.peer.storage.epochs.set_current_epoch(self.epoch)
+        self.acked_newleader = {self.peer.peer_id}
+        for handle in self.handles.values():
+            if handle.ackepoch is not None:
+                self._sync_follower(handle)
+        self._maybe_establish()
+
+    def committed_horizon(self):
+        """The zxid below which history is committed (sync target)."""
+        if self.established:
+            return self.peer.last_committed or ZXID_ZERO
+        return self.peer.storage.log.last_durable() or ZXID_ZERO
+
+    def _snapshot_provider(self):
+        horizon = self.committed_horizon()
+        if (
+            self._snapshot_cache is None
+            or self._snapshot_cache.last_zxid != horizon
+        ):
+            self._snapshot_cache = self.peer.build_snapshot(horizon)
+        return self._snapshot_cache
+
+    def _sync_follower(self, handle):
+        current_epoch, follower_last = handle.ackepoch
+        plan = make_sync_plan(
+            self.peer.storage.log,
+            follower_last,
+            self.committed_horizon(),
+            self.config.snap_sync_threshold,
+            self._snapshot_provider,
+        )
+        self.sync_modes[plan.mode] = self.sync_modes.get(plan.mode, 0) + 1
+        dst = handle.peer_id
+        self.peer.send(
+            dst,
+            messages.SyncStart(
+                plan.mode,
+                trunc_zxid=plan.trunc_zxid,
+                snapshot=plan.snapshot,
+            ),
+        )
+        for record in plan.records:
+            self.peer.send(
+                dst, messages.SyncTxn(record.zxid, record.txn, record.size)
+            )
+        self.peer.send(
+            dst,
+            messages.NewLeader(
+                self.epoch, last_zxid=self.committed_horizon()
+            ),
+        )
+        handle.in_stream = True
+        # Re-send outstanding (uncommitted) proposals so this follower can
+        # acknowledge them; FIFO guarantees they arrive after NEWLEADER.
+        if not handle.is_observer:
+            for zxid, proposal in self.proposals.items():
+                self.peer.send(
+                    dst, messages.Propose(zxid, proposal.txn, proposal.size)
+                )
+
+    def _on_ack_new_leader(self, src, msg):
+        handle = self.handles.get(src)
+        if handle is None or msg.epoch != self.epoch:
+            return
+        handle.synced = True
+        if not handle.is_observer:
+            self.acked_newleader.add(src)
+        if self.established:
+            self.peer.send(src, messages.UpToDate(self.epoch))
+        else:
+            self._maybe_establish()
+
+    def _maybe_establish(self):
+        if self.established:
+            return
+        if not self.config.quorum.contains_quorum(self.acked_newleader):
+            return
+        self._establish()
+
+    def _establish(self):
+        self.established = True
+        self.phase = PHASE_BROADCAST
+        if self._handshake_timer is not None:
+            self.peer.cancel_timer(self._handshake_timer)
+            self._handshake_timer = None
+        # The adopted initial history is committed by NEWLEADER quorum.
+        self.peer.note_established_leader(self.epoch)
+        self.spec_sm = self.peer.clone_state_machine()
+        for handle in self.handles.values():
+            if handle.synced:
+                self.peer.send(
+                    handle.peer_id, messages.UpToDate(self.epoch)
+                )
+        self._arm_ping()
+        self._drain_pending()
+
+    # ------------------------------------------------------------------
+    # Phase 3: broadcast
+    # ------------------------------------------------------------------
+
+    def submit(self, request):
+        """Accept a client write (queues until established / window free)."""
+        if not self.established:
+            self.pending.append(request)
+            return
+        self.batcher.add(request)
+
+    def _propose_batch(self, batch):
+        for request in batch:
+            if len(self.proposals) >= self.config.max_outstanding:
+                self.pending.append(request)
+            else:
+                self._propose(request)
+
+    def _propose(self, request):
+        body = self.spec_sm.prepare(request.op)
+        self.spec_sm.apply(body)
+        self.counter += 1
+        zxid = Zxid(self.epoch, self.counter)
+        txn = Txn(
+            txn_id="t%d.%d" % (self.epoch, self.counter),
+            request_id=request.request_id,
+            client=request.client,
+            origin=request.origin,
+            body=body,
+            size=request.size,
+        )
+        if self.peer.trace is not None:
+            self.peer.trace.record_broadcast(
+                self.peer.peer_id, self.epoch, zxid, txn.txn_id
+            )
+        proposal = _Proposal(txn, request.size, self.peer.sim.now)
+        self.proposals[zxid] = proposal
+        message = messages.Propose(zxid, txn, request.size)
+        for handle in self.handles.values():
+            if handle.in_stream and not handle.is_observer:
+                self.peer.send(handle.peer_id, message)
+        self.peer.storage.log.append(
+            zxid, txn, request.size,
+            callback=lambda z=zxid: self._on_ack(self.peer.peer_id, z),
+        )
+
+    def _on_ack(self, src, zxid):
+        proposal = self.proposals.get(zxid)
+        if proposal is None or not self.config.is_voter(src):
+            return
+        handle = self.handles.get(src)
+        if handle is not None:
+            handle.last_ack = self.peer.sim.now
+        proposal.acks.add(src)
+        self._try_commit()
+
+    def _try_commit(self):
+        committed_any = False
+        while self.proposals:
+            zxid, proposal = self.proposals.head()
+            if not self.config.quorum.contains_quorum(proposal.acks):
+                break
+            del self.proposals[zxid]
+            self._commit(zxid, proposal)
+            committed_any = True
+        if committed_any:
+            self._drain_pending()
+
+    def _commit(self, zxid, proposal):
+        self.commits += 1
+        commit = messages.Commit(zxid)
+        inform = None
+        for handle in self.handles.values():
+            if not handle.in_stream:
+                continue
+            if handle.is_observer:
+                if handle.synced:
+                    if inform is None:
+                        inform = messages.Inform(
+                            zxid, proposal.txn, proposal.size
+                        )
+                    self.peer.send(handle.peer_id, inform)
+            else:
+                self.peer.send(handle.peer_id, commit)
+        self.peer.commit_local(zxid, proposal.txn)
+        self._flush_sync_waiters(zxid)
+
+    # ------------------------------------------------------------------
+    # Read-path flush (ZooKeeper's sync())
+    # ------------------------------------------------------------------
+
+    def _on_sync_request(self, src, msg):
+        """Answer once everything currently outstanding has committed."""
+        if not self.proposals:
+            frontier = self.peer.last_committed or ZXID_ZERO
+            self.peer.send(src, messages.SyncReply(msg.cookie, frontier))
+            return
+        barrier = next(reversed(self.proposals))  # newest outstanding
+        self._sync_waiters.append((barrier, src, msg.cookie))
+
+    def sync_barrier(self, callback):
+        """Local flavour of sync: run *callback(frontier)* once every
+        currently-outstanding proposal has committed (leader-side
+        linearizable read point)."""
+        if not self.proposals:
+            callback(self.peer.last_committed or ZXID_ZERO)
+            return
+        barrier = next(reversed(self.proposals))
+        self._sync_waiters.append((barrier, None, callback))
+
+    def _flush_sync_waiters(self, committed_zxid):
+        if not self._sync_waiters:
+            return
+        remaining = []
+        for barrier, dst, cookie in self._sync_waiters:
+            if barrier <= committed_zxid:
+                if dst is None:
+                    cookie(committed_zxid)  # local callback
+                else:
+                    self.peer.send(
+                        dst, messages.SyncReply(cookie, committed_zxid)
+                    )
+            else:
+                remaining.append((barrier, dst, cookie))
+        self._sync_waiters = remaining
+
+    def _drain_pending(self):
+        while (
+            self.pending
+            and self.established
+            and len(self.proposals) < self.config.max_outstanding
+        ):
+            self._propose(self.pending.pop(0))
+
+    # ------------------------------------------------------------------
+    # Heartbeats and quorum supervision
+    # ------------------------------------------------------------------
+
+    def _arm_ping(self):
+        self._ping_timer = self.peer.set_timer(
+            self.config.tick, self._on_ping_tick
+        )
+
+    def _on_ping_tick(self):
+        self._ping_timer = None
+        digest_position, digest = self.peer.latest_digest()
+        ping = messages.Ping(
+            self.peer.last_committed or ZXID_ZERO,
+            digest_position=digest_position,
+            digest=digest,
+        )
+        for handle in self.handles.values():
+            if handle.in_stream:
+                self.peer.send(handle.peer_id, ping)
+        alive = {self.peer.peer_id}
+        now = self.peer.sim.now
+        horizon = now - self.config.staleness_timeout()
+        # When proposals have been stuck outstanding past the staleness
+        # budget, heartbeat replies alone do not count: a follower must
+        # be making ACK *progress* to stay in the synced set (a wedged
+        # disk answers pings forever but can never acknowledge).
+        head = self.proposals.head()
+        stalled_since = (
+            head[1].proposed_at
+            if head is not None
+            and now - head[1].proposed_at
+            > self.config.staleness_timeout()
+            else None
+        )
+        for handle in self.handles.values():
+            if handle.is_observer or handle.last_contact < horizon:
+                continue
+            if (
+                stalled_since is not None
+                and handle.in_stream
+                and handle.last_ack < stalled_since
+            ):
+                continue  # no progress on the stuck pipeline
+            alive.add(handle.peer_id)
+        if not self.config.quorum.contains_quorum(alive):
+            self.peer.go_looking("leader lost follower quorum")
+            return
+        self._arm_ping()

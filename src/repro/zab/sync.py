@@ -1,0 +1,105 @@
+"""Synchronisation planning (Phase 2).
+
+Given the leader's log/snapshot state and a follower's last zxid, decide
+how to bring the follower into the leader's history, mirroring ZooKeeper's
+learner sync:
+
+- **DIFF** — ship the missing committed records;
+- **TRUNC** — the follower logged proposals beyond the leader's committed
+  horizon (a dead leader's uncommitted tail); have it truncate, then it is
+  aligned;
+- **SNAP** — the follower is too far behind (records purged, history
+  diverged, or the lag exceeds ``snap_sync_threshold``); ship a full state
+  snapshot.
+
+The plan always targets the leader's *committed horizon*: at establishment
+time that is the entire adopted initial history, later it is the leader's
+commit frontier (outstanding proposals are re-sent separately as ordinary
+PROPOSE messages so the follower can acknowledge them).
+"""
+
+from repro.zab.zxid import ZXID_ZERO
+from repro.zab import messages
+
+
+class SyncPlan:
+    """The decision for one follower."""
+
+    __slots__ = ("mode", "trunc_zxid", "snapshot", "records")
+
+    def __init__(self, mode, trunc_zxid=None, snapshot=None, records=()):
+        self.mode = mode
+        self.trunc_zxid = trunc_zxid
+        self.snapshot = snapshot
+        self.records = list(records)
+
+    def payload_bytes(self):
+        """Bytes this plan ships (snapshot + records), for experiment E6."""
+        total = sum(record.size for record in self.records)
+        if self.snapshot is not None:
+            total += self.snapshot.size
+        return total
+
+    def __repr__(self):
+        return "SyncPlan(%s, %d records, %dB)" % (
+            self.mode, len(self.records), self.payload_bytes(),
+        )
+
+
+def make_sync_plan(log, follower_last, committed, snap_threshold,
+                   snapshot_provider):
+    """Compute the sync plan for one follower.
+
+    Parameters
+    ----------
+    log:
+        The leader's :class:`~repro.storage.txnlog.TxnLog`.
+    follower_last:
+        The follower's last durable zxid (``ZXID_ZERO`` or ``None`` for an
+        empty log), as reported in its ACKEPOCH.
+    committed:
+        The leader's committed horizon (zxid or ``None``).
+    snap_threshold:
+        Lag (in records) beyond which SNAP is preferred over DIFF.
+    snapshot_provider:
+        Zero-argument callable returning a
+        :class:`~repro.storage.snapshot.Snapshot` serialised exactly at
+        *committed*; only invoked when a SNAP is actually needed.
+    """
+    follower_last = follower_last or ZXID_ZERO
+    committed = committed or ZXID_ZERO
+
+    if follower_last == committed:
+        return SyncPlan(messages.SYNC_DIFF)
+
+    if follower_last > committed:
+        # Uncommitted tail from a dead leader: drop it.  Within-epoch logs
+        # are prefix-consistent, so after truncation the follower holds
+        # exactly the committed history.
+        return SyncPlan(messages.SYNC_TRUNC, trunc_zxid=committed)
+
+    # follower_last < committed: find the records it is missing.
+    records = [
+        record
+        for record in log.entries_after(
+            None if follower_last == ZXID_ZERO else follower_last
+        )
+        if record.zxid <= committed
+    ]
+
+    have_start = (
+        follower_last == ZXID_ZERO
+        and log.purged_through() is None
+    ) or (
+        follower_last != ZXID_ZERO
+        and (
+            log.contains(follower_last)
+            or follower_last == log.purged_through()
+        )
+    )
+
+    if have_start and len(records) <= snap_threshold:
+        return SyncPlan(messages.SYNC_DIFF, records=records)
+
+    snapshot = snapshot_provider()
+    return SyncPlan(messages.SYNC_SNAP, snapshot=snapshot)

@@ -1,0 +1,71 @@
+"""Transaction identifiers.
+
+A zxid is the pair ``(epoch, counter)``: *epoch* identifies the primary
+instance that generated the transaction and *counter* its position within
+that instance.  zxids are totally ordered lexicographically, which is the
+order Zab delivers in.  ZooKeeper packs the pair into a 64-bit integer
+(epoch in the high 32 bits); :meth:`Zxid.packed` mirrors that encoding.
+"""
+
+import functools
+
+
+@functools.total_ordering
+class Zxid:
+    """An (epoch, counter) transaction id."""
+
+    __slots__ = ("epoch", "counter")
+
+    def __init__(self, epoch, counter):
+        if epoch < 0 or counter < 0:
+            raise ValueError("zxid parts must be non-negative")
+        self.epoch = epoch
+        self.counter = counter
+
+    def next(self):
+        """The next zxid of the same primary instance."""
+        return Zxid(self.epoch, self.counter + 1)
+
+    def packed(self):
+        """64-bit packed form: epoch << 32 | counter."""
+        return (self.epoch << 32) | self.counter
+
+    @classmethod
+    def unpack(cls, value):
+        """Inverse of :meth:`packed`."""
+        return cls(value >> 32, value & 0xFFFFFFFF)
+
+    def as_tuple(self):
+        return (self.epoch, self.counter)
+
+    def __eq__(self, other):
+        if not isinstance(other, Zxid):
+            return NotImplemented
+        return self.epoch == other.epoch and self.counter == other.counter
+
+    def __lt__(self, other):
+        if not isinstance(other, Zxid):
+            return NotImplemented
+        return (self.epoch, self.counter) < (other.epoch, other.counter)
+
+    def __hash__(self):
+        return hash((self.epoch, self.counter))
+
+    def __repr__(self):
+        return "zxid(%d:%d)" % (self.epoch, self.counter)
+
+    def wire_size(self):
+        return 8
+
+
+#: The zxid of "no transaction yet": sorts before every real zxid.
+ZXID_ZERO = Zxid(0, 0)
+
+
+def max_zxid(a, b):
+    """Maximum of two zxids, treating None as minus infinity."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a if a >= b else b

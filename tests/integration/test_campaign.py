@@ -1,0 +1,38 @@
+"""Tests for the adversarial-campaign harness."""
+
+from repro.bench.campaign import render_campaign, run_adversarial_campaign
+
+
+def test_small_campaign_all_pass():
+    outcomes = run_adversarial_campaign(range(3), n_voters=3, steps=6)
+    assert len(outcomes) == 3
+    for outcome in outcomes:
+        assert outcome.passed, (outcome.seed, outcome.violations,
+                                outcome.error)
+        assert outcome.deliveries > 0
+        assert outcome.actions
+
+
+def test_campaign_outcomes_carry_fault_history():
+    outcomes = run_adversarial_campaign([5], n_voters=5, steps=5)
+    actions = outcomes[0].actions
+    kinds = {kind for kind, _victim in actions}
+    assert kinds <= {"crash", "recover", "isolate", "heal"}
+    assert len(actions) == 5
+
+
+def test_render_campaign_verdict_line():
+    outcomes = run_adversarial_campaign(range(2), n_voters=3, steps=4)
+    text = render_campaign(outcomes)
+    assert "ALL 2 RUNS PASSED" in text
+    assert "seed" in text
+
+
+def test_render_campaign_reports_failures():
+    outcomes = run_adversarial_campaign([1], n_voters=3, steps=4)
+    outcomes[0].ok = False
+    outcomes[0].violations = ["total_order"]
+    text = render_campaign(outcomes)
+    assert "FAIL" in text
+    assert "1/1 RUNS FAILED" in text
+    assert "total_order" in text

@@ -1,0 +1,184 @@
+"""End-to-end tests for the coordination recipes.
+
+These are the most demanding integration tests in the repo: a lock is
+only a lock if broadcast ordering, ephemeral sessions, server-side
+watches, and client retries all compose correctly.
+"""
+
+from repro.app import DataTreeStateMachine
+from repro.client import Client
+from repro.harness import Cluster
+from repro.recipes import DistributedLock, DoubleBarrier, GroupMembership
+
+
+def tree_cluster(seed, **kwargs):
+    cluster = Cluster(
+        3, seed=seed, app_factory=DataTreeStateMachine, **kwargs
+    ).start()
+    cluster.run_until_stable(timeout=30)
+    return cluster
+
+
+def make_client(cluster, name):
+    return Client(
+        cluster.sim, cluster.network, name,
+        peers=list(cluster.config.all_peers),
+        request_timeout=0.5, max_attempts=20,
+    )
+
+
+def open_session(cluster, session_id):
+    cluster.submit_and_wait(("create_session", session_id, 30.0))
+
+
+# ---------------------------------------------------------------------------
+# DistributedLock
+# ---------------------------------------------------------------------------
+
+def test_lock_mutual_exclusion_under_contention():
+    cluster = tree_cluster(270)
+    cluster.submit_and_wait(("create", "/lock", b"", "", None))
+    holders = []
+    locks = []
+    for index in range(4):
+        session = "s%d" % index
+        open_session(cluster, session)
+        client = make_client(cluster, "locker%d" % index)
+        lock = DistributedLock(client, session, root="/lock")
+        locks.append(lock)
+        lock.acquire(
+            lambda acquired, index=index: holders.append(index)
+        )
+    cluster.run_until(lambda: holders, timeout=30)
+    cluster.run(1.0)
+    # Exactly one holder at a time.
+    assert len(holders) == 1
+    assert sum(1 for lock in locks if lock.holding) == 1
+
+    # Release cascades to the next waiter, in FIFO (sequence) order.
+    order = list(holders)
+    for _ in range(3):
+        current = order[-1]
+        locks[current].release()
+        cluster.run_until(
+            lambda: len(holders) > len(order), timeout=30
+        )
+        order = list(holders)
+    assert sorted(order) == [0, 1, 2, 3]
+    assert order == [0, 1, 2, 3]  # sequence numbers arbitrate fairly
+    cluster.assert_properties()
+
+
+def test_lock_passes_on_session_expiry():
+    cluster = tree_cluster(271)
+    cluster.submit_and_wait(("create", "/lock", b"", "", None))
+    for session in ("alive", "doomed"):
+        open_session(cluster, session)
+    holders = []
+    doomed_client = make_client(cluster, "doomed")
+    doomed_lock = DistributedLock(doomed_client, "doomed", root="/lock")
+    doomed_lock.acquire(lambda lock: holders.append("doomed"))
+    cluster.run_until(lambda: holders, timeout=30)
+
+    alive_client = make_client(cluster, "alive")
+    alive_lock = DistributedLock(alive_client, "alive", root="/lock")
+    alive_lock.acquire(lambda lock: holders.append("alive"))
+    cluster.run(1.0)
+    assert holders == ["doomed"]
+
+    # The holder's process dies: its session is closed (as the expiry
+    # service would) and the lock must pass without any action from it.
+    cluster.submit_and_wait(("close_session", "doomed"))
+    cluster.run_until(lambda: "alive" in holders, timeout=30)
+    assert alive_lock.holding
+    cluster.assert_properties()
+
+
+def test_lock_survives_leader_crash_mid_contention():
+    cluster = tree_cluster(272)
+    cluster.submit_and_wait(("create", "/lock", b"", "", None))
+    for index in range(2):
+        open_session(cluster, "s%d" % index)
+    holders = []
+    locks = []
+    for index in range(2):
+        client = make_client(cluster, "c%d" % index)
+        lock = DistributedLock(client, "s%d" % index, root="/lock")
+        locks.append(lock)
+        lock.acquire(lambda l, index=index: holders.append(index))
+    cluster.run_until(lambda: holders, timeout=30)
+    cluster.crash(cluster.leader().peer_id)
+    cluster.run_until_stable(timeout=30)
+    # The holder still holds; releasing still wakes the waiter.
+    locks[holders[0]].release()
+    cluster.run_until(lambda: len(holders) == 2, timeout=30)
+    assert sorted(holders) == [0, 1]
+    cluster.assert_properties()
+
+
+# ---------------------------------------------------------------------------
+# DoubleBarrier
+# ---------------------------------------------------------------------------
+
+def test_double_barrier_releases_all_at_threshold():
+    cluster = tree_cluster(273)
+    cluster.submit_and_wait(("create", "/barrier", b"", "", None))
+    entered = []
+    barriers = []
+    for index in range(3):
+        session = "b%d" % index
+        open_session(cluster, session)
+        client = make_client(cluster, "bar%d" % index)
+        barrier = DoubleBarrier(
+            client, session, "/barrier", threshold=3, name="p%d" % index
+        )
+        barriers.append(barrier)
+    # Two enter: nobody proceeds.
+    barriers[0].enter(lambda: entered.append(0))
+    barriers[1].enter(lambda: entered.append(1))
+    cluster.run(1.5)
+    assert entered == []
+    # The third arrives: everyone proceeds.
+    barriers[2].enter(lambda: entered.append(2))
+    cluster.run_until(lambda: len(entered) == 3, timeout=30)
+    assert sorted(entered) == [0, 1, 2]
+
+    # Leaving: all must wait for the last to leave.
+    left = []
+    for index, barrier in enumerate(barriers):
+        barrier.leave(lambda index=index: left.append(index))
+    cluster.run_until(lambda: len(left) == 3, timeout=30)
+    assert sorted(left) == [0, 1, 2]
+    cluster.assert_properties()
+
+
+# ---------------------------------------------------------------------------
+# GroupMembership
+# ---------------------------------------------------------------------------
+
+def test_membership_tracks_joins_and_leaves():
+    cluster = tree_cluster(274)
+    cluster.submit_and_wait(("create", "/group", b"", "", None))
+    observer_client = make_client(cluster, "observer")
+    group = GroupMembership(observer_client, root="/group")
+    seen = []
+    group.watch(lambda members: seen.append(members))
+
+    open_session(cluster, "w1")
+    open_session(cluster, "w2")
+    member_client = make_client(cluster, "members")
+    members = GroupMembership(member_client, root="/group")
+    members.join("w1", "worker-1")
+    cluster.run_until(
+        lambda: seen and seen[-1] == ["worker-1"], timeout=30
+    )
+    members.join("w2", "worker-2")
+    cluster.run_until(
+        lambda: seen and seen[-1] == ["worker-1", "worker-2"], timeout=30
+    )
+    # A member's session dies: membership shrinks with no explicit leave.
+    cluster.submit_and_wait(("close_session", "w1"))
+    cluster.run_until(
+        lambda: seen and seen[-1] == ["worker-2"], timeout=30
+    )
+    cluster.assert_properties()

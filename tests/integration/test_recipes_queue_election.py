@@ -1,0 +1,133 @@
+"""End-to-end tests for the queue and client-level election recipes."""
+
+from repro.app import DataTreeStateMachine
+from repro.client import Client
+from repro.harness import Cluster
+from repro.recipes import DistributedQueue, LeaderElection
+
+
+def tree_cluster(seed, roots=("/queue",)):
+    cluster = Cluster(
+        3, seed=seed, app_factory=DataTreeStateMachine,
+    ).start()
+    cluster.run_until_stable(timeout=30)
+    for root in roots:
+        cluster.submit_and_wait(("create", root, b"", "", None))
+    return cluster
+
+
+def make_client(cluster, name):
+    return Client(
+        cluster.sim, cluster.network, name,
+        peers=list(cluster.config.all_peers),
+        request_timeout=0.5, max_attempts=20,
+    )
+
+
+# ---------------------------------------------------------------------------
+# DistributedQueue
+# ---------------------------------------------------------------------------
+
+def test_queue_is_fifo():
+    cluster = tree_cluster(310)
+    queue = DistributedQueue(make_client(cluster, "q"), root="/queue")
+    for index in range(5):
+        queue.put(b"item-%d" % index)
+    cluster.run(1.0)
+    taken = []
+    for _ in range(5):
+        queue.take(taken.append)
+        cluster.run_until(lambda n=len(taken): len(taken) > n, timeout=30)
+    assert taken == [b"item-%d" % index for index in range(5)]
+    assert cluster.leader().sm.read(("children", "/queue")) == []
+
+
+def test_take_blocks_until_put():
+    cluster = tree_cluster(311)
+    queue = DistributedQueue(make_client(cluster, "q"), root="/queue")
+    taken = []
+    queue.take(taken.append)
+    cluster.run(1.0)
+    assert taken == []
+    queue.put(b"late")
+    cluster.run_until(lambda: taken, timeout=30)
+    assert taken == [b"late"]
+
+
+def test_competing_consumers_each_element_delivered_once():
+    cluster = tree_cluster(312)
+    producer = DistributedQueue(make_client(cluster, "p"), root="/queue")
+    consumers = [
+        DistributedQueue(make_client(cluster, "c%d" % i), root="/queue")
+        for i in range(3)
+    ]
+    received = []
+    for consumer in consumers:
+        for _ in range(2):
+            consumer.take(received.append)
+    for index in range(6):
+        producer.put(b"job-%d" % index)
+    cluster.run_until(lambda: len(received) == 6, timeout=60)
+    cluster.run(1.0)
+    # Exactly-once delivery across racing consumers, no lost jobs.
+    assert sorted(received) == [b"job-%d" % i for i in range(6)]
+    assert len(received) == 6
+    assert cluster.leader().sm.read(("children", "/queue")) == []
+    cluster.assert_properties()
+
+
+# ---------------------------------------------------------------------------
+# LeaderElection (client-level)
+# ---------------------------------------------------------------------------
+
+def test_client_election_single_leader_and_succession():
+    cluster = tree_cluster(313, roots=("/election",))
+    leaders = []
+    candidates = []
+    for index in range(3):
+        session = "cand-%d" % index
+        cluster.submit_and_wait(("create_session", session, 30.0))
+        candidate = LeaderElection(
+            make_client(cluster, "e%d" % index), session,
+            root="/election", name="candidate-%d" % index,
+        )
+        candidates.append(candidate)
+        candidate.nominate(
+            lambda c, index=index: leaders.append(index)
+        )
+    cluster.run_until(lambda: leaders, timeout=30)
+    cluster.run(1.0)
+    assert len(leaders) == 1
+    assert sum(1 for c in candidates if c.leading) == 1
+
+    # The leader resigns; exactly one successor emerges.
+    candidates[leaders[0]].resign()
+    cluster.run_until(lambda: len(leaders) == 2, timeout=30)
+    assert leaders[1] != leaders[0]
+
+    # current_leader agrees with who thinks they lead.
+    answer = []
+    candidates[leaders[1]].current_leader(answer.append)
+    cluster.run_until(lambda: answer, timeout=30)
+    assert answer[0] is not None
+    cluster.assert_properties()
+
+
+def test_client_election_survives_session_death():
+    cluster = tree_cluster(314, roots=("/election",))
+    for session in ("s-a", "s-b"):
+        cluster.submit_and_wait(("create_session", session, 30.0))
+    leaders = []
+    first = LeaderElection(make_client(cluster, "a"), "s-a",
+                           root="/election")
+    second = LeaderElection(make_client(cluster, "b"), "s-b",
+                            root="/election")
+    first.nominate(lambda c: leaders.append("a"))
+    cluster.run_until(lambda: leaders, timeout=30)
+    second.nominate(lambda c: leaders.append("b"))
+    cluster.run(1.0)
+    assert leaders == ["a"]
+    # The leader's process dies; its session closes; b takes over.
+    cluster.submit_and_wait(("close_session", "s-a"))
+    cluster.run_until(lambda: leaders == ["a", "b"], timeout=30)
+    assert second.leading

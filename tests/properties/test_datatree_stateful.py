@@ -1,0 +1,141 @@
+"""Stateful property test: the data tree against a flat-dict model.
+
+Hypothesis drives random create/set/delete/session operations through
+the primary-side prepare/apply path and cross-checks reads against a
+simple path->data reference model, plus structural invariants (version
+counting, ephemeral ownership, parent/child coherence).
+"""
+
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.app import DataTreeStateMachine
+
+_NAMES = ["a", "b", "c"]
+_SESSIONS = ["s1", "s2"]
+
+
+class DataTreeModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.sm = DataTreeStateMachine()
+        self.model = {}        # path -> (data, owner)
+        self.versions = {}     # path -> expected version
+        self.live_sessions = set()
+
+    def _do(self, op):
+        return self.sm.apply(self.sm.prepare(op))
+
+    def _parent_exists_and_ok(self, path):
+        parent = path.rsplit("/", 1)[0] or "/"
+        if parent == "/":
+            return True
+        return parent in self.model and self.model[parent][1] is None
+
+    # -- rules ----------------------------------------------------------
+
+    @rule(session=st.sampled_from(_SESSIONS))
+    def open_session(self, session):
+        self._do(("create_session", session, 10.0))
+        self.live_sessions.add(session)
+
+    @rule(session=st.sampled_from(_SESSIONS))
+    def close_session(self, session):
+        self._do(("close_session", session))
+        self.live_sessions.discard(session)
+        for path in [
+            p for p, (_d, owner) in self.model.items() if owner == session
+        ]:
+            del self.model[path]
+            self.versions.pop(path, None)
+
+    @rule(
+        parts=st.lists(st.sampled_from(_NAMES), min_size=1, max_size=3),
+        data=st.binary(max_size=8),
+        session=st.one_of(st.none(), st.sampled_from(_SESSIONS)),
+    )
+    def create(self, parts, data, session):
+        path = "/" + "/".join(parts)
+        flags = "e" if session is not None else ""
+        result = self._do(("create", path, data, flags, session))
+        should_succeed = (
+            path not in self.model
+            and self._parent_exists_and_ok(path)
+            and (session is None or session in self.live_sessions)
+        )
+        if should_succeed:
+            assert result == path
+            self.model[path] = (data, session)
+            self.versions[path] = 0
+        else:
+            assert isinstance(result, tuple) and result[0] == "error"
+
+    @rule(
+        parts=st.lists(st.sampled_from(_NAMES), min_size=1, max_size=3),
+        data=st.binary(max_size=8),
+    )
+    def set_data(self, parts, data):
+        path = "/" + "/".join(parts)
+        result = self._do(("set", path, data, -1))
+        if path in self.model:
+            assert result == path
+            owner = self.model[path][1]
+            self.model[path] = (data, owner)
+            self.versions[path] += 1
+        else:
+            assert result == ("error", "no node")
+
+    @rule(parts=st.lists(st.sampled_from(_NAMES), min_size=1, max_size=3))
+    def delete(self, parts):
+        path = "/" + "/".join(parts)
+        has_children = any(
+            other.startswith(path + "/") for other in self.model
+        )
+        result = self._do(("delete", path, -1))
+        if path in self.model and not has_children:
+            assert result == path
+            del self.model[path]
+            self.versions.pop(path, None)
+        else:
+            assert isinstance(result, tuple) and result[0] == "error"
+
+    # -- invariants -----------------------------------------------------
+
+    @invariant()
+    def reads_match_model(self):
+        for path, (data, _owner) in self.model.items():
+            assert self.sm.read(("get", path)) == data
+            assert self.sm.read(("exists", path))
+
+    @invariant()
+    def versions_match(self):
+        for path, version in self.versions.items():
+            assert self.sm.read(("stat", path))["version"] == version
+
+    @invariant()
+    def no_phantom_nodes(self):
+        def walk(prefix, node):
+            for name, child in node.children.items():
+                child_path = (prefix + "/" + name) if prefix else "/" + name
+                assert child_path in self.model, child_path
+                walk(child_path, child)
+
+        walk("", self.sm.root)
+
+    @invariant()
+    def sessions_match(self):
+        assert set(self.sm.read(("sessions",))) == self.live_sessions
+
+    @invariant()
+    def snapshot_roundtrip_preserves_digest(self):
+        blob, _ = self.sm.serialize()
+        clone = DataTreeStateMachine()
+        clone.restore(blob)
+        assert clone.digest() == self.sm.digest()
+
+
+TestDataTreeStateful = DataTreeModel.TestCase

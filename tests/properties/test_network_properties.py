@@ -1,0 +1,73 @@
+"""Property tests for the network fabric's core guarantees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net import Network, NetworkConfig
+from repro.sim import Simulator
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    jitter=st.floats(min_value=0.0, max_value=0.05),
+    bandwidth=st.one_of(
+        st.none(), st.floats(min_value=1e3, max_value=1e9)
+    ),
+    count=st.integers(min_value=1, max_value=40),
+)
+def test_fifo_per_pair_under_any_configuration(seed, jitter, bandwidth,
+                                               count):
+    """Per-(src,dst) FIFO holds for every latency/jitter/bandwidth mix."""
+    sim = Simulator(seed=seed)
+    net = Network(sim, NetworkConfig(
+        bandwidth_bps=bandwidth, latency=0.001, jitter=jitter,
+    ))
+    received = []
+    net.register(1, lambda s, p: None)
+    net.register(2, lambda s, p: received.append(p))
+    for index in range(count):
+        net.send(1, 2, index)
+    sim.run()
+    assert received == list(range(count))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    sizes=st.lists(st.integers(1, 10000), min_size=1, max_size=20),
+)
+def test_bandwidth_conservation(seed, sizes):
+    """Total transfer time is at least total bytes / bandwidth — the NIC
+    model never teleports data."""
+    bandwidth = 1e5
+    sim = Simulator(seed=seed)
+    net = Network(sim, NetworkConfig(
+        bandwidth_bps=bandwidth, latency=0.0, jitter=0.0,
+    ))
+    arrival = []
+    net.register(1, lambda s, p: None)
+    net.register(2, lambda s, p: arrival.append(sim.now))
+    total = 0
+    for size in sizes:
+        payload = b"x" * size
+        net.send(1, 2, payload)
+        total += size + 64  # header
+    sim.run()
+    assert arrival[-1] >= total / bandwidth * 0.999
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10 ** 6))
+def test_identical_seeds_identical_delivery_schedule(seed):
+    def schedule():
+        sim = Simulator(seed=seed)
+        net = Network(sim, NetworkConfig(jitter=0.01))
+        log = []
+        net.register(1, lambda s, p: None)
+        net.register(2, lambda s, p: log.append((sim.now, p)))
+        for index in range(10):
+            net.send(1, 2, index)
+        sim.run()
+        return log
+
+    assert schedule() == schedule()

@@ -1,0 +1,122 @@
+"""Property test: every sync plan reconstructs the committed history.
+
+For arbitrary leader histories (with optional purged prefixes) and
+arbitrary follower positions (behind, aligned, or ahead with an
+uncommitted same-epoch tail), executing the produced plan against a
+model of the follower's log must yield exactly the leader's committed
+prefix.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.storage import Snapshot, TxnLog
+from repro.zab import messages
+from repro.zab.sync import make_sync_plan
+from repro.zab.zxid import Zxid, ZXID_ZERO
+
+
+def build_leader(total, purge_upto):
+    log = TxnLog()
+    history = []
+    for i in range(1, total + 1):
+        zxid = Zxid(1, i)
+        log.append(zxid, "txn-%d" % i, size=10)
+        history.append((zxid, "txn-%d" % i))
+    if purge_upto:
+        log.purge_through(Zxid(1, purge_upto))
+    return log, history
+
+
+def execute_plan(plan, follower_entries, history_by_zxid):
+    """Apply a sync plan to a model follower log; return final entries."""
+    entries = list(follower_entries)
+    base = ZXID_ZERO
+    if plan.mode == messages.SYNC_TRUNC:
+        entries = [
+            (zxid, txn) for zxid, txn in entries if zxid <= plan.trunc_zxid
+        ]
+    elif plan.mode == messages.SYNC_SNAP:
+        base = plan.snapshot.last_zxid
+        entries = []  # state now lives in the snapshot
+    for record in plan.records:
+        entries.append((record.zxid, record.txn))
+    return base, entries
+
+
+@given(
+    total=st.integers(min_value=0, max_value=60),
+    data=st.data(),
+)
+def test_plan_reconstructs_committed_prefix(total, data):
+    purge_upto = data.draw(
+        st.integers(min_value=0, max_value=total), label="purge"
+    )
+    committed_counter = data.draw(
+        st.integers(min_value=purge_upto, max_value=total),
+        label="committed",
+    )
+    # Follower position: anywhere from empty to ahead of committed.
+    follower_counter = data.draw(
+        st.integers(min_value=0, max_value=total + 5), label="follower"
+    )
+    threshold = data.draw(
+        st.integers(min_value=0, max_value=80), label="threshold"
+    )
+
+    log, history = build_leader(total, purge_upto)
+    history_by_zxid = dict(history)
+    committed = (
+        Zxid(1, committed_counter) if committed_counter else ZXID_ZERO
+    )
+    follower_last = (
+        Zxid(1, follower_counter) if follower_counter else ZXID_ZERO
+    )
+    # The follower's log: the same epoch-1 prefix (logs within an epoch
+    # are prefix-consistent by Zab's single-writer argument).
+    follower_entries = [
+        (Zxid(1, i), "txn-%d" % i)
+        for i in range(1, follower_counter + 1)
+    ]
+
+    def provider():
+        return Snapshot(committed, ("state", committed_counter), 999)
+
+    plan = make_sync_plan(log, follower_last, committed, threshold,
+                          provider)
+    base, entries = execute_plan(plan, follower_entries, history_by_zxid)
+
+    # Result must be exactly the committed prefix above the base.
+    expected = [
+        (zxid, txn) for zxid, txn in history
+        if base < zxid <= committed
+    ]
+    assert entries == expected
+    # And the effective frontier equals the committed horizon.
+    frontier = entries[-1][0] if entries else base
+    if committed == ZXID_ZERO:
+        assert frontier in (ZXID_ZERO, base)
+    else:
+        assert frontier == committed
+
+
+@given(
+    total=st.integers(min_value=1, max_value=60),
+    lag=st.integers(min_value=0, max_value=60),
+    threshold=st.integers(min_value=0, max_value=60),
+)
+def test_diff_never_exceeds_threshold(total, lag, threshold):
+    lag = min(lag, total)
+    log, _history = build_leader(total, purge_upto=0)
+    committed = Zxid(1, total)
+    follower_last = (
+        Zxid(1, total - lag) if total > lag else ZXID_ZERO
+    )
+
+    plan = make_sync_plan(
+        log, follower_last, committed, threshold,
+        lambda: Snapshot(committed, ("state", total), 999),
+    )
+    if plan.mode == messages.SYNC_DIFF:
+        assert len(plan.records) <= threshold or threshold == 0 and (
+            len(plan.records) == 0
+        )

@@ -1,0 +1,203 @@
+"""Unit and property tests for the ZooKeeper-style data tree."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.app import DataTreeStateMachine
+
+
+def do(sm, op):
+    return sm.apply(sm.prepare(op))
+
+
+def test_create_and_get():
+    sm = DataTreeStateMachine()
+    assert do(sm, ("create", "/a", b"data", "", None)) == "/a"
+    assert sm.read(("get", "/a")) == b"data"
+    assert sm.read(("exists", "/a"))
+    assert not sm.read(("exists", "/b"))
+
+
+def test_nested_create_requires_parent():
+    sm = DataTreeStateMachine()
+    assert do(sm, ("create", "/a/b", b"", "", None)) == (
+        "error", "no parent"
+    )
+    do(sm, ("create", "/a", b"", "", None))
+    assert do(sm, ("create", "/a/b", b"x", "", None)) == "/a/b"
+    assert sm.read(("children", "/a")) == ["b"]
+
+
+def test_duplicate_create_fails():
+    sm = DataTreeStateMachine()
+    do(sm, ("create", "/a", b"", "", None))
+    assert do(sm, ("create", "/a", b"", "", None)) == (
+        "error", "node exists"
+    )
+
+
+def test_set_bumps_version_and_checks_expected():
+    sm = DataTreeStateMachine()
+    do(sm, ("create", "/a", b"v0", "", None))
+    assert do(sm, ("set", "/a", b"v1", 0)) == "/a"
+    assert sm.read(("stat", "/a"))["version"] == 1
+    assert do(sm, ("set", "/a", b"v2", 0)) == ("error", "bad version")
+    assert do(sm, ("set", "/a", b"v2", -1)) == "/a"  # -1 = any version
+
+
+def test_delete_requires_empty_node():
+    sm = DataTreeStateMachine()
+    do(sm, ("create", "/a", b"", "", None))
+    do(sm, ("create", "/a/b", b"", "", None))
+    assert do(sm, ("delete", "/a", -1)) == ("error", "not empty")
+    do(sm, ("delete", "/a/b", -1))
+    assert do(sm, ("delete", "/a", -1)) == "/a"
+    assert not sm.read(("exists", "/a"))
+
+
+def test_sequential_nodes_get_parent_counter_names():
+    sm = DataTreeStateMachine()
+    do(sm, ("create", "/q", b"", "", None))
+    first = do(sm, ("create", "/q/n-", b"", "s", None))
+    second = do(sm, ("create", "/q/n-", b"", "s", None))
+    assert first == "/q/n-0000000000"
+    assert second == "/q/n-0000000001"
+    assert sm.read(("children", "/q")) == [
+        "n-0000000000", "n-0000000001",
+    ]
+
+
+def test_sequence_numbers_survive_deletes():
+    # cversion keeps rising, so names never repeat (ZooKeeper behaviour).
+    sm = DataTreeStateMachine()
+    do(sm, ("create", "/q", b"", "", None))
+    first = do(sm, ("create", "/q/n-", b"", "s", None))
+    do(sm, ("delete", first, -1))
+    second = do(sm, ("create", "/q/n-", b"", "s", None))
+    assert second != first
+
+
+def test_ephemeral_requires_live_session_and_dies_with_it():
+    sm = DataTreeStateMachine()
+    do(sm, ("create", "/locks", b"", "", None))
+    assert do(sm, ("create", "/locks/L", b"", "e", "s1")) == (
+        "error", "unknown session"
+    )
+    do(sm, ("create_session", "s1", 5.0))
+    assert do(sm, ("create", "/locks/L", b"", "e", "s1")) == "/locks/L"
+    assert sm.read(("sessions",)) == ["s1"]
+    do(sm, ("close_session", "s1"))
+    assert not sm.read(("exists", "/locks/L"))
+    assert sm.read(("sessions",)) == []
+
+
+def test_ephemeral_cannot_have_children():
+    sm = DataTreeStateMachine()
+    do(sm, ("create_session", "s1", 5.0))
+    do(sm, ("create", "/e", b"", "e", "s1"))
+    assert do(sm, ("create", "/e/child", b"", "", None)) == (
+        "error", "parent is ephemeral"
+    )
+
+
+def test_ephemeral_sequential_combination():
+    sm = DataTreeStateMachine()
+    do(sm, ("create_session", "s1", 5.0))
+    do(sm, ("create", "/q", b"", "", None))
+    path = do(sm, ("create", "/q/n-", b"", "es", "s1"))
+    assert path.startswith("/q/n-")
+    do(sm, ("close_session", "s1"))
+    assert sm.read(("children", "/q")) == []
+
+
+def test_close_session_only_removes_own_ephemerals():
+    sm = DataTreeStateMachine()
+    do(sm, ("create_session", "s1", 5.0))
+    do(sm, ("create_session", "s2", 5.0))
+    do(sm, ("create", "/a", b"", "e", "s1"))
+    do(sm, ("create", "/b", b"", "e", "s2"))
+    do(sm, ("close_session", "s1"))
+    assert not sm.read(("exists", "/a"))
+    assert sm.read(("exists", "/b"))
+
+
+def test_stat_contents():
+    sm = DataTreeStateMachine()
+    do(sm, ("create", "/a", b"xyz", "", None))
+    do(sm, ("create", "/a/b", b"", "", None))
+    stat = sm.read(("stat", "/a"))
+    assert stat["version"] == 0
+    assert stat["cversion"] == 1
+    assert stat["num_children"] == 1
+    assert stat["data_length"] == 3
+    assert sm.read(("stat", "/missing")) is None
+
+
+def test_reads_classified():
+    sm = DataTreeStateMachine()
+    for op in (("get", "/a"), ("exists", "/a"), ("children", "/a"),
+               ("stat", "/a"), ("sessions",)):
+        assert sm.is_read(op)
+    assert not sm.is_read(("create", "/a", b"", "", None))
+
+
+def test_relative_path_rejected():
+    sm = DataTreeStateMachine()
+    with pytest.raises(ValueError):
+        sm.prepare(("create", "a", b"", "", None))
+
+
+def test_serialize_restore_roundtrip():
+    sm = DataTreeStateMachine()
+    do(sm, ("create_session", "s1", 5.0))
+    do(sm, ("create", "/a", b"1", "", None))
+    do(sm, ("create", "/a/b", b"2", "", None))
+    do(sm, ("create", "/e", b"3", "e", "s1"))
+    do(sm, ("set", "/a", b"1b", -1))
+    blob, nbytes = sm.serialize()
+    assert nbytes > 0
+    other = DataTreeStateMachine()
+    other.restore(blob)
+    assert other.read(("get", "/a")) == b"1b"
+    assert other.read(("get", "/a/b")) == b"2"
+    assert other.read(("sessions",)) == ["s1"]
+    assert other.read(("stat", "/a"))["version"] == 1
+    # Ephemerals survive a restore (still tied to their session) ...
+    assert other.read(("exists", "/e"))
+    # ... and the restored copy is independent.
+    do(other, ("delete", "/e", -1))
+    assert sm.read(("exists", "/e"))
+
+
+_names = st.sampled_from(["a", "b", "c"])
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("create"), _names),
+            st.tuples(st.just("delete"), _names),
+            st.tuples(st.just("set"), _names,
+                      st.integers(0, 255)),
+        ),
+        max_size=40,
+    )
+)
+def test_delta_replay_equivalence(script):
+    """Replicas replaying the primary's deltas converge exactly."""
+    primary = DataTreeStateMachine()
+    deltas = []
+    for step in script:
+        if step[0] == "create":
+            op = ("create", "/" + step[1], b"", "", None)
+        elif step[0] == "delete":
+            op = ("delete", "/" + step[1], -1)
+        else:
+            op = ("set", "/" + step[1], bytes([step[2]]), -1)
+        delta = primary.prepare(op)
+        primary.apply(delta)
+        deltas.append(delta)
+    replica = DataTreeStateMachine()
+    for delta in deltas:
+        replica.apply(delta)
+    assert replica.serialize()[0] == primary.serialize()[0]

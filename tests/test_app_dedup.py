@@ -1,0 +1,114 @@
+"""Tests for session-scoped exactly-once execution."""
+
+from repro.app.dedup import DedupStateMachine
+from repro.app.kvstore import KVStateMachine
+from repro.harness import Cluster
+
+
+def kv_dedup_factory():
+    return DedupStateMachine(KVStateMachine)
+
+
+def do(sm, op):
+    return sm.apply(sm.prepare(op))
+
+
+def test_plain_ops_pass_through():
+    sm = kv_dedup_factory()
+    assert do(sm, ("put", "k", 1)) == 1
+    assert sm.read(("get", "k")) == 1
+    assert sm.is_read(("get", "k"))
+    assert not sm.is_read(("put", "k", 2))
+
+
+def test_first_execution_applies_and_caches():
+    sm = kv_dedup_factory()
+    assert do(sm, ("dedup", "s1", 1, ("incr", "n", 5))) == 5
+    assert sm.session_seq("s1") == 1
+    assert sm.read(("get", "n")) == 5
+
+
+def test_retransmission_returns_cached_result_without_reapplying():
+    sm = kv_dedup_factory()
+    do(sm, ("dedup", "s1", 1, ("incr", "n", 5)))
+    # The retry carries the same seq; prepare sees it is already applied.
+    result = do(sm, ("dedup", "s1", 1, ("incr", "n", 5)))
+    assert result == 5                    # cached, not 10
+    assert sm.read(("get", "n")) == 5     # state untouched
+    assert sm.duplicates_suppressed == 1
+
+
+def test_older_than_cached_seq_is_rejected_as_stale():
+    sm = kv_dedup_factory()
+    do(sm, ("dedup", "s1", 1, ("put", "a", 1)))
+    do(sm, ("dedup", "s1", 2, ("put", "b", 2)))
+    assert do(sm, ("dedup", "s1", 1, ("put", "a", 1))) == (
+        "error", "stale duplicate"
+    )
+
+
+def test_sessions_are_independent():
+    sm = kv_dedup_factory()
+    do(sm, ("dedup", "s1", 1, ("incr", "n", 1)))
+    do(sm, ("dedup", "s2", 1, ("incr", "n", 1)))
+    assert sm.read(("get", "n")) == 2
+
+
+def test_race_duplicate_in_pipeline_is_suppressed_at_apply():
+    # Both copies pass prepare before either applies (two outstanding
+    # proposals for the same request): the second apply must suppress.
+    sm = kv_dedup_factory()
+    delta1 = sm.prepare(("dedup", "s1", 1, ("incr", "n", 5)))
+    delta2 = sm.prepare(("dedup", "s1", 1, ("incr", "n", 5)))
+    assert sm.apply(delta1) == 5
+    assert sm.apply(delta2) == 5          # cached
+    assert sm.read(("get", "n")) == 5
+
+
+def test_dedup_table_survives_snapshot_roundtrip():
+    sm = kv_dedup_factory()
+    do(sm, ("dedup", "s1", 3, ("put", "k", "v")))
+    blob, _nbytes = sm.serialize()
+    other = kv_dedup_factory()
+    other.restore(blob)
+    assert other.session_seq("s1") == 3
+    assert do(other, ("dedup", "s1", 3, ("put", "k", "v"))) == "v"
+    assert other.read(("get", "k")) == "v"
+
+
+def test_exactly_once_across_cluster_with_duplicate_submission():
+    cluster = Cluster(
+        3, seed=180, app_factory=kv_dedup_factory,
+    ).start()
+    cluster.run_until_stable(timeout=30)
+    op = ("dedup", "client-7", 1, ("incr", "balance", 100))
+    # The "client" times out and retries: the same logical request is
+    # submitted twice through the normal write path.
+    first, _ = cluster.submit_and_wait(op)
+    second, _ = cluster.submit_and_wait(op)
+    assert first == 100
+    assert second == 100                  # cached answer, not 200
+    cluster.run(0.5)
+    for peer in cluster.peers.values():
+        if not peer.crashed and peer.sm is not None:
+            assert peer.sm.read(("get", "balance")) == 100
+    cluster.assert_properties()
+
+
+def test_exactly_once_survives_leader_change():
+    cluster = Cluster(
+        3, seed=181, app_factory=kv_dedup_factory,
+    ).start()
+    cluster.run_until_stable(timeout=30)
+    op = ("dedup", "client-9", 1, ("incr", "balance", 50))
+    cluster.submit_and_wait(op)
+    cluster.crash(cluster.leader().peer_id)
+    cluster.run_until_stable(timeout=30)
+    # The retry lands on the NEW leader: the dedup table is replicated
+    # state, so the duplicate is still recognised.
+    result, _ = cluster.submit_and_wait(op)
+    assert result == 50
+    cluster.run(0.5)
+    leader = cluster.leader()
+    assert leader.sm.read(("get", "balance")) == 50
+    cluster.assert_properties()

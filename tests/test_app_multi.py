@@ -1,0 +1,104 @@
+"""Tests for ZooKeeper-style atomic multi transactions."""
+
+from repro.app import DataTreeStateMachine
+from repro.harness import Cluster
+
+
+def do(sm, op):
+    return sm.apply(sm.prepare(op))
+
+
+def test_multi_applies_all_ops():
+    sm = DataTreeStateMachine()
+    results = do(sm, ("multi", [
+        ("create", "/a", b"1", "", None),
+        ("create", "/a/b", b"2", "", None),
+        ("set", "/a", b"1x", -1),
+    ]))
+    assert results == ["/a", "/a/b", "/a"]
+    assert sm.read(("get", "/a")) == b"1x"
+    assert sm.read(("get", "/a/b")) == b"2"
+
+
+def test_multi_later_ops_see_earlier_effects():
+    sm = DataTreeStateMachine()
+    # /parent is created by the first sub-op; the second depends on it.
+    delta = sm.prepare(("multi", [
+        ("create", "/parent", b"", "", None),
+        ("create", "/parent/child", b"", "", None),
+    ]))
+    assert delta[0] == "multibody"
+    sm.apply(delta)
+    assert sm.read(("exists", "/parent/child"))
+
+
+def test_multi_aborts_atomically_on_any_failure():
+    sm = DataTreeStateMachine()
+    do(sm, ("create", "/a", b"orig", "", None))
+    delta = sm.prepare(("multi", [
+        ("set", "/a", b"changed", -1),
+        ("delete", "/missing", -1),        # fails
+        ("create", "/c", b"", "", None),
+    ]))
+    assert delta[0] == "fail"
+    assert "multi op 1 aborted" in delta[2]
+    result = sm.apply(delta)
+    assert result[0] == "error"
+    # Nothing from the batch took effect.
+    assert sm.read(("get", "/a")) == b"orig"
+    assert not sm.read(("exists", "/c"))
+
+
+def test_multi_version_check_against_speculative_state():
+    sm = DataTreeStateMachine()
+    do(sm, ("create", "/v", b"0", "", None))
+    # First set bumps version to 1; second expects exactly 1: valid only
+    # because later ops are resolved against the speculative state.
+    delta = sm.prepare(("multi", [
+        ("set", "/v", b"1", 0),
+        ("set", "/v", b"2", 1),
+    ]))
+    assert delta[0] == "multibody"
+    sm.apply(delta)
+    assert sm.read(("get", "/v")) == b"2"
+    assert sm.read(("stat", "/v"))["version"] == 2
+
+
+def test_multi_sequential_creates_get_consecutive_numbers():
+    sm = DataTreeStateMachine()
+    do(sm, ("create", "/q", b"", "", None))
+    results = do(sm, ("multi", [
+        ("create", "/q/n-", b"", "s", None),
+        ("create", "/q/n-", b"", "s", None),
+    ]))
+    assert results == ["/q/n-0000000000", "/q/n-0000000001"]
+
+
+def test_nested_multi_rejected():
+    sm = DataTreeStateMachine()
+    delta = sm.prepare(("multi", [("multi", [])]))
+    assert delta[0] == "fail"
+
+
+def test_multi_prepare_does_not_mutate_primary_state():
+    sm = DataTreeStateMachine()
+    sm.prepare(("multi", [("create", "/x", b"", "", None)]))
+    assert not sm.read(("exists", "/x"))
+
+
+def test_multi_replicates_atomically():
+    cluster = Cluster(
+        3, seed=170, app_factory=DataTreeStateMachine,
+    ).start()
+    cluster.run_until_stable(timeout=30)
+    results, _zxid = cluster.submit_and_wait(("multi", [
+        ("create", "/cfg", b"", "", None),
+        ("create", "/cfg/a", b"1", "", None),
+        ("create", "/cfg/b", b"2", "", None),
+    ]))
+    assert results == ["/cfg", "/cfg/a", "/cfg/b"]
+    cluster.run(0.5)
+    for peer in cluster.peers.values():
+        if not peer.crashed and peer.sm is not None:
+            assert peer.sm.read(("children", "/cfg")) == ["a", "b"]
+    cluster.assert_properties()

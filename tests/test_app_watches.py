@@ -1,0 +1,115 @@
+"""Unit tests for replica-local watches and leader-side session tracking."""
+
+from repro.app import DataTreeStateMachine, SessionTracker, WatchManager
+
+
+def do(sm, op):
+    return sm.apply(sm.prepare(op))
+
+
+def tree_with_watches():
+    sm = DataTreeStateMachine()
+    watches = WatchManager(sm)
+    return sm, watches
+
+
+def test_data_watch_fires_on_change():
+    sm, watches = tree_with_watches()
+    do(sm, ("create", "/a", b"0", "", None))
+    fired = []
+    watches.watch_data("/a", lambda event, path: fired.append(event))
+    do(sm, ("set", "/a", b"1", -1))
+    assert fired == ["changed"]
+
+
+def test_data_watch_fires_on_create_and_delete():
+    sm, watches = tree_with_watches()
+    fired = []
+    watches.watch_data("/a", lambda event, path: fired.append(event))
+    do(sm, ("create", "/a", b"", "", None))
+    assert fired == ["created"]
+    watches.watch_data("/a", lambda event, path: fired.append(event))
+    do(sm, ("delete", "/a", -1))
+    assert fired == ["created", "deleted"]
+
+
+def test_watches_are_one_shot():
+    sm, watches = tree_with_watches()
+    do(sm, ("create", "/a", b"", "", None))
+    fired = []
+    watches.watch_data("/a", lambda event, path: fired.append(event))
+    do(sm, ("set", "/a", b"1", -1))
+    do(sm, ("set", "/a", b"2", -1))
+    assert fired == ["changed"]
+    assert watches.pending() == 0
+
+
+def test_child_watch_fires_on_membership_change():
+    sm, watches = tree_with_watches()
+    do(sm, ("create", "/q", b"", "", None))
+    fired = []
+    watches.watch_children("/q", lambda event, path: fired.append(path))
+    do(sm, ("create", "/q/n1", b"", "", None))
+    assert fired == ["/q"]
+
+
+def test_child_watch_not_fired_by_data_change():
+    sm, watches = tree_with_watches()
+    do(sm, ("create", "/q", b"", "", None))
+    fired = []
+    watches.watch_children("/q", lambda event, path: fired.append(path))
+    do(sm, ("set", "/q", b"new", -1))
+    assert fired == []
+
+
+def test_multiple_watchers_all_fire():
+    sm, watches = tree_with_watches()
+    do(sm, ("create", "/a", b"", "", None))
+    fired = []
+    for i in range(3):
+        watches.watch_data("/a", lambda event, path, i=i: fired.append(i))
+    do(sm, ("set", "/a", b"1", -1))
+    assert sorted(fired) == [0, 1, 2]
+    assert watches.fired == 3
+
+
+def test_ephemeral_cleanup_fires_watches():
+    sm, watches = tree_with_watches()
+    do(sm, ("create_session", "s1", 5.0))
+    do(sm, ("create", "/e", b"", "e", "s1"))
+    fired = []
+    watches.watch_data("/e", lambda event, path: fired.append(event))
+    do(sm, ("close_session", "s1"))
+    assert fired == ["deleted"]
+
+
+# --- SessionTracker -----------------------------------------------------------
+
+def test_session_tracker_expiry():
+    clock = {"now": 0.0}
+    tracker = SessionTracker(lambda: clock["now"])
+    tracker.register("s1", timeout=1.0)
+    tracker.register("s2", timeout=5.0)
+    assert tracker.expired() == []
+    clock["now"] = 2.0
+    assert tracker.expired() == ["s1"]
+    clock["now"] = 6.0
+    assert tracker.expired() == ["s1", "s2"]
+
+
+def test_session_touch_resets_expiry():
+    clock = {"now": 0.0}
+    tracker = SessionTracker(lambda: clock["now"])
+    tracker.register("s1", timeout=1.0)
+    clock["now"] = 0.9
+    assert tracker.touch("s1")
+    clock["now"] = 1.5
+    assert tracker.expired() == []
+
+
+def test_session_tracker_remove_and_unknown_touch():
+    tracker = SessionTracker(lambda: 0.0)
+    tracker.register("s1", timeout=1.0)
+    tracker.remove("s1")
+    assert not tracker.touch("s1")
+    assert tracker.live_sessions() == []

@@ -1,0 +1,49 @@
+"""Tests for ASCII table and sparkline rendering."""
+
+from repro.bench.formats import render_series, render_table
+
+
+def test_table_alignment_and_title():
+    text = render_table(
+        ["name", "value"],
+        [("alpha", 1.0), ("b", 123456.0)],
+        title="demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "alpha" in lines[3]
+    assert "123456" in lines[4]
+    # Consistent row widths.
+    assert len(lines[3]) == len(lines[2])
+
+
+def test_table_float_formatting():
+    text = render_table(["v"], [(0.1234567,), (12.3,), (4567.0,), (0.0,)])
+    assert "0.1235" in text
+    assert "12.30" in text
+    assert "4567" in text
+
+
+def test_table_without_rows():
+    text = render_table(["a", "b"], [])
+    assert "a" in text
+
+
+def test_series_sparkline_peaks():
+    series = [(0.0, 0.0), (0.1, 50.0), (0.2, 100.0)]
+    text = render_series(series)
+    assert "peak=100" in text
+    assert "[" in text and "]" in text
+
+
+def test_series_empty():
+    assert "empty" in render_series([])
+
+
+def test_series_downsamples_to_width():
+    series = [(i * 0.1, float(i % 10)) for i in range(1000)]
+    text = render_series(series, width=40)
+    inside = text[text.index("[") + 1: text.index("]")]
+    assert len(inside) == 40

@@ -1,0 +1,102 @@
+"""Tests for the workload drivers and the bench runner."""
+
+import pytest
+
+from repro.bench import ClosedLoopDriver, OpenLoopDriver
+from repro.bench.runner import default_op_factory, run_broadcast_bench
+from repro.harness import Cluster
+
+
+def stable_cluster(seed=130, **kwargs):
+    cluster = Cluster(3, seed=seed, **kwargs).start()
+    cluster.run_until_stable(timeout=30)
+    return cluster
+
+
+def test_closed_loop_keeps_window_full():
+    cluster = stable_cluster()
+    driver = ClosedLoopDriver(
+        cluster, outstanding=8, op_factory=default_op_factory(64),
+        op_size=64,
+    ).start()
+    cluster.run(1.0)
+    driver.stop()
+    assert driver.committed > 50
+    # Completions equal submissions minus what is still in flight.
+    assert driver.submitted - driver.committed <= 8
+
+
+def test_closed_loop_survives_leader_crash():
+    cluster = stable_cluster(seed=131)
+    driver = ClosedLoopDriver(
+        cluster, outstanding=4, op_factory=default_op_factory(64),
+        op_size=64, retry_interval=0.05,
+    ).start()
+    cluster.run(0.5)
+    mid = driver.committed
+    cluster.crash(cluster.leader().peer_id)
+    cluster.run_until_stable(timeout=30)
+    cluster.run(1.0)
+    driver.stop()
+    assert driver.committed > mid  # progress resumed after failover
+
+
+def test_open_loop_hits_target_rate():
+    cluster = stable_cluster(seed=132)
+    driver = OpenLoopDriver(
+        cluster, rate=500, op_factory=default_op_factory(64), op_size=64,
+    ).start()
+    cluster.run(2.0)
+    driver.stop()
+    achieved = driver.committed / 2.0
+    assert 350 < achieved < 650  # Poisson noise around 500
+
+
+def test_open_loop_counts_rejections_without_leader():
+    cluster = stable_cluster(seed=133)
+    cluster.crash(cluster.leader().peer_id)
+    # Immediately generate load during the election gap.
+    driver = OpenLoopDriver(
+        cluster, rate=200, op_factory=default_op_factory(64), op_size=64,
+    ).start()
+    cluster.run(0.2)
+    driver.stop()
+    assert driver.rejected > 0
+
+
+def test_open_loop_validates_rate():
+    cluster = stable_cluster(seed=134)
+    with pytest.raises(ValueError):
+        OpenLoopDriver(cluster, rate=0,
+                       op_factory=default_op_factory(64), op_size=64)
+
+
+def test_latency_warmup_window_respected():
+    cluster = stable_cluster(seed=135)
+    driver = ClosedLoopDriver(
+        cluster, outstanding=2, op_factory=default_op_factory(64),
+        op_size=64, warmup=0.5,
+    ).start()
+    cluster.run(1.5)
+    driver.stop()
+    assert driver.latency.discarded > 0
+    assert all(t >= 0.5 for t, _lat in driver.latency.samples)
+
+
+def test_runner_end_to_end_smoke():
+    result = run_broadcast_bench(
+        3, op_size=256, outstanding=8, duration=0.5, warmup=0.1, seed=136,
+    )
+    assert result.throughput > 0
+    assert result.committed > 0
+    assert result.check_report.ok
+    assert result.latency["p50"] > 0
+    assert result.net_stats["by_type"]["Propose"] > 0
+    assert "n_voters" in result.params
+
+
+def test_runner_open_loop_mode():
+    result = run_broadcast_bench(
+        3, duration=0.5, warmup=0.1, seed=137, open_loop_rate=300,
+    )
+    assert 0 < result.throughput < 600

@@ -1,0 +1,162 @@
+"""Unit tests for the PO broadcast property checker.
+
+Each violation type is triggered by a hand-built synthetic trace, so the
+checker itself is validated independently of the protocols it judges.
+"""
+
+from repro.checker import check_all, Trace
+from repro.zab.zxid import Zxid
+
+
+def z(epoch, counter):
+    return Zxid(epoch, counter)
+
+
+def clean_trace():
+    """Two processes delivering two txns of epoch 1 in order."""
+    trace = Trace()
+    trace.record_broadcast(1, 1, z(1, 1), "A")
+    trace.record_broadcast(1, 1, z(1, 2), "B")
+    for process in (1, 2):
+        trace.record_delivery(process, 1, 1, z(1, 1), "A")
+        trace.record_delivery(process, 1, 2, z(1, 2), "B")
+    return trace
+
+
+def test_clean_trace_passes_everything():
+    report = check_all(clean_trace())
+    assert report.ok
+    assert report.stats["broadcasts"] == 2
+    assert report.stats["deliveries"] == 4
+
+
+def test_integrity_flags_never_broadcast_txn():
+    trace = clean_trace()
+    trace.record_delivery(2, 1, 3, z(1, 3), "GHOST")
+    report = check_all(trace)
+    assert "integrity" in report.violated_properties()
+
+
+def test_integrity_flags_zxid_mismatch():
+    trace = Trace()
+    trace.record_broadcast(1, 1, z(1, 1), "A")
+    trace.record_delivery(1, 1, 1, z(1, 7), "A")
+    report = check_all(trace)
+    assert "integrity" in report.violated_properties()
+
+
+def test_total_order_flags_position_conflict():
+    trace = Trace()
+    trace.record_broadcast(1, 1, z(1, 1), "A")
+    trace.record_broadcast(1, 1, z(1, 2), "B")
+    trace.record_delivery(1, 1, 1, z(1, 1), "A")
+    trace.record_delivery(2, 1, 1, z(1, 2), "B")  # same position, other txn
+    report = check_all(trace)
+    assert "total_order" in report.violated_properties()
+
+
+def test_agreement_flags_position_gap():
+    trace = Trace()
+    trace.record_broadcast(1, 1, z(1, 1), "A")
+    trace.record_broadcast(1, 1, z(1, 2), "B")
+    trace.record_delivery(1, 1, 1, z(1, 1), "A")
+    trace.record_delivery(1, 1, 3, z(1, 2), "B")  # skipped position 2
+    report = check_all(trace)
+    assert "agreement" in report.violated_properties()
+
+
+def test_new_incarnation_may_restart_positions():
+    trace = Trace()
+    trace.record_broadcast(1, 1, z(1, 1), "A")
+    trace.record_broadcast(1, 1, z(1, 2), "B")
+    trace.record_delivery(1, 1, 1, z(1, 1), "A")
+    trace.record_delivery(1, 1, 2, z(1, 2), "B")
+    # Crash, replay from scratch: positions restart at 1 in incarnation 2.
+    trace.record_delivery(1, 2, 1, z(1, 1), "A")
+    trace.record_delivery(1, 2, 2, z(1, 2), "B")
+    assert check_all(trace).ok
+
+
+def test_incarnation_starting_mid_history_is_fine():
+    # Snapshot-based recovery: the first explicit delivery of an
+    # incarnation may sit at any position; only gaps are violations.
+    trace = Trace()
+    trace.record_broadcast(1, 1, z(1, 1), "A")
+    trace.record_broadcast(1, 1, z(1, 2), "B")
+    trace.record_delivery(1, 1, 1, z(1, 1), "A")
+    trace.record_delivery(1, 1, 2, z(1, 2), "B")
+    trace.record_delivery(2, 1, 2, z(1, 2), "B")  # restored snapshot to 1
+    assert check_all(trace).ok
+
+
+def test_local_primary_order_flags_skipped_dependency():
+    # B delivered without A (same primary, A broadcast first).
+    trace = Trace()
+    trace.record_broadcast(1, 1, z(1, 1), "A")
+    trace.record_broadcast(1, 1, z(1, 2), "B")
+    trace.record_delivery(2, 1, 1, z(1, 2), "B")
+    report = check_all(trace)
+    assert "local_primary_order" in report.violated_properties()
+
+
+def test_local_primary_order_flags_swapped_pair():
+    trace = Trace()
+    trace.record_broadcast(1, 1, z(1, 1), "A")
+    trace.record_broadcast(1, 1, z(1, 2), "B")
+    trace.record_delivery(1, 1, 1, z(1, 2), "B")
+    trace.record_delivery(1, 1, 2, z(1, 1), "A")
+    report = check_all(trace)
+    assert "local_primary_order" in report.violated_properties()
+
+
+def test_global_primary_order_flags_old_epoch_after_new():
+    trace = Trace()
+    trace.record_broadcast(1, 1, z(1, 1), "A")
+    trace.record_broadcast(2, 2, z(2, 1), "C")
+    trace.record_delivery(3, 1, 1, z(2, 1), "C")
+    trace.record_delivery(3, 1, 2, z(1, 1), "A")
+    report = check_all(trace)
+    assert "global_primary_order" in report.violated_properties()
+
+
+def test_epoch_order_along_history_is_fine_when_ascending():
+    trace = Trace()
+    trace.record_broadcast(1, 1, z(1, 1), "A")
+    trace.record_delivery(1, 1, 1, z(1, 1), "A")
+    trace.record_delivery(2, 1, 1, z(1, 1), "A")
+    trace.record_broadcast(2, 2, z(2, 1), "C")
+    trace.record_delivery(2, 1, 2, z(2, 1), "C")
+    trace.record_delivery(1, 1, 2, z(2, 1), "C")
+    assert check_all(trace).ok
+
+
+def test_primary_integrity_requires_covering_earlier_epochs():
+    # Primary of epoch 2 broadcasts before having delivered epoch 1's A,
+    # and A is later delivered somewhere.
+    trace = Trace()
+    trace.record_broadcast(1, 1, z(1, 1), "A")
+    trace.record_broadcast(2, 2, z(2, 1), "C")    # primary 2, no coverage
+    trace.record_delivery(3, 1, 1, z(1, 1), "A")
+    trace.record_delivery(3, 1, 2, z(2, 1), "C")
+    report = check_all(trace)
+    assert "primary_integrity" in report.violated_properties()
+
+
+def test_primary_integrity_satisfied_when_covered():
+    trace = Trace()
+    trace.record_broadcast(1, 1, z(1, 1), "A")
+    trace.record_delivery(2, 1, 1, z(1, 1), "A")  # primary 2 covers A
+    trace.record_broadcast(2, 2, z(2, 1), "C")    # then broadcasts
+    trace.record_delivery(2, 1, 2, z(2, 1), "C")
+    trace.record_delivery(3, 1, 1, z(1, 1), "A")
+    trace.record_delivery(3, 1, 2, z(2, 1), "C")
+    assert check_all(trace).ok
+
+
+def test_report_repr_and_views():
+    trace = clean_trace()
+    report = check_all(trace)
+    assert "OK" in repr(report)
+    assert trace.delivered_txn_ids() == {"A", "B"}
+    assert list(trace.broadcasts_by_epoch()) == [1]
+    assert set(trace.deliveries_by_process()) == {1, 2}

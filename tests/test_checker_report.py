@@ -1,0 +1,59 @@
+"""Tests for the report/history renderers."""
+
+from repro.checker import check_all, Trace
+from repro.checker.report import render_history, render_report
+from repro.zab.zxid import Zxid
+
+
+def sample_trace(violate=False):
+    trace = Trace()
+    trace.record_broadcast(1, 1, Zxid(1, 1), "A")
+    trace.record_broadcast(1, 1, Zxid(1, 2), "B")
+    trace.record_delivery(1, 1, 1, Zxid(1, 1), "A")
+    if violate:
+        trace.record_delivery(2, 1, 1, Zxid(1, 2), "B")  # conflict @1
+    else:
+        trace.record_delivery(1, 1, 2, Zxid(1, 2), "B")
+    return trace
+
+
+def test_render_report_all_ok():
+    text = render_report(check_all(sample_trace()))
+    assert "total_order            ok" in text
+    assert "VIOLATED" not in text
+    assert "2 broadcasts" in text
+
+
+def test_render_report_shows_violations():
+    text = render_report(check_all(sample_trace(violate=True)))
+    assert "total_order            VIOLATED" in text
+    assert "* [total_order]" in text
+    assert "integrity              ok" in text
+
+
+def test_render_report_caps_violation_list():
+    trace = Trace()
+    for i in range(1, 30):
+        trace.record_delivery(1, 1, i, Zxid(1, i), "ghost-%d" % i)
+    text = render_report(check_all(trace), max_violations=5)
+    assert "more violations" in text
+
+
+def test_render_history_lines():
+    text = render_history(sample_trace())
+    assert "zxid(1:1)" in text
+    assert "epoch 1" in text
+    assert "A" in text and "B" in text
+
+
+def test_render_history_empty():
+    assert "no deliveries" in render_history(Trace())
+
+
+def test_render_history_limit():
+    trace = Trace()
+    for i in range(1, 20):
+        trace.record_broadcast(1, 1, Zxid(1, i), "t%d" % i)
+        trace.record_delivery(1, 1, i, Zxid(1, i), "t%d" % i)
+    text = render_history(trace, limit=5)
+    assert "more positions" in text

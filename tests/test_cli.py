@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info_lists_experiments(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "e1" in out and "e10" in out
+
+
+def test_experiment_unknown_id(capsys):
+    assert main(["experiment", "e99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_experiment_e4_runs(capsys):
+    assert main(["experiment", "e4"]) == 0
+    out = capsys.readouterr().out
+    assert "local_primary_order" in out
+    assert "zab" in out
+
+
+def test_bench_prints_summary(capsys):
+    assert main(["bench", "--servers", "3", "--duration", "0.3"]) == 0
+    out = capsys.readouterr().out
+    assert "throughput:" in out
+    assert "properties:   OK" in out
+
+
+def test_fuzz_clean_exit(capsys):
+    assert main(["fuzz", "--servers", "3", "--seed", "1",
+                 "--steps", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "ALL OK" in out
+
+
+def test_campaign_command(capsys):
+    assert main(["campaign", "--servers", "3", "--seeds", "2",
+                 "--steps", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "ALL 2 RUNS PASSED" in out
+    assert "verdict" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

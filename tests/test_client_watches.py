@@ -1,0 +1,148 @@
+"""Unit-level tests for server-pushed client watches."""
+
+from repro.app import DataTreeStateMachine
+from repro.client import Client
+from repro.harness import Cluster
+
+
+def tree_cluster(seed):
+    cluster = Cluster(
+        3, seed=seed, app_factory=DataTreeStateMachine,
+    ).start()
+    cluster.run_until_stable(timeout=30)
+    return cluster
+
+
+def make_client(cluster, name="w", prefer=None):
+    return Client(
+        cluster.sim, cluster.network, name,
+        peers=list(cluster.config.all_peers), prefer=prefer,
+    )
+
+
+def test_data_watch_pushed_to_client():
+    cluster = tree_cluster(280)
+    cluster.submit_and_wait(("create", "/node", b"v0", "", None))
+    client = make_client(cluster)
+    events = []
+    reads = []
+    client.submit(("get", "/node"),
+                  callback=lambda ok, r, z: reads.append(r),
+                  watch=lambda event, path: events.append((event, path)))
+    cluster.run_until(lambda: reads, timeout=10)
+    assert reads == [b"v0"]
+    assert events == []
+    cluster.submit_and_wait(("set", "/node", b"v1", -1))
+    cluster.run_until(lambda: events, timeout=10)
+    assert events == [("changed", "/node")]
+
+
+def test_watch_is_one_shot():
+    cluster = tree_cluster(281)
+    cluster.submit_and_wait(("create", "/node", b"", "", None))
+    client = make_client(cluster)
+    events = []
+    client.submit(("get", "/node"),
+                  watch=lambda event, path: events.append(event))
+    cluster.run(0.5)
+    cluster.submit_and_wait(("set", "/node", b"1", -1))
+    cluster.submit_and_wait(("set", "/node", b"2", -1))
+    cluster.run(1.0)
+    assert events == ["changed"]
+
+
+def test_children_watch_fires_on_membership_not_data():
+    cluster = tree_cluster(282)
+    cluster.submit_and_wait(("create", "/dir", b"", "", None))
+    client = make_client(cluster)
+    events = []
+    client.submit(("children", "/dir"),
+                  watch=lambda event, path: events.append(event))
+    cluster.run(0.5)
+    cluster.submit_and_wait(("set", "/dir", b"data", -1))
+    cluster.run(0.5)
+    assert events == []     # data change must not fire a child watch
+    cluster.submit_and_wait(("create", "/dir/kid", b"", "", None))
+    cluster.run_until(lambda: events, timeout=10)
+    assert events == ["child"]
+
+
+def test_exists_watch_fires_on_creation():
+    cluster = tree_cluster(283)
+    client = make_client(cluster)
+    events = []
+    answered = []
+    client.submit(("exists", "/future"),
+                  callback=lambda ok, r, z: answered.append(r),
+                  watch=lambda event, path: events.append(event))
+    cluster.run_until(lambda: answered, timeout=10)
+    assert answered == [False]
+    cluster.submit_and_wait(("create", "/future", b"", "", None))
+    cluster.run_until(lambda: events, timeout=10)
+    assert events == ["created"]
+
+
+def test_watch_on_follower_fires_from_that_follower():
+    cluster = tree_cluster(284)
+    cluster.submit_and_wait(("create", "/node", b"", "", None))
+    cluster.run(0.5)
+    leader_id = cluster.leader().peer_id
+    follower_id = next(
+        peer_id for peer_id in cluster.config.voters
+        if peer_id != leader_id
+    )
+    client = make_client(cluster, prefer=follower_id)
+    events = []
+    client.submit(("get", "/node"),
+                  watch=lambda event, path: events.append(event))
+    cluster.run(0.5)
+    # The follower's watch table holds the registration.
+    assert cluster.peers[follower_id].watch_manager.pending() == 1
+    assert cluster.peers[leader_id].watch_manager.pending() == 0
+    cluster.submit_and_wait(("set", "/node", b"x", -1))
+    cluster.run_until(lambda: events, timeout=10)
+    assert events == ["changed"]
+
+
+def test_watch_survives_leader_change_at_watching_peer():
+    cluster = tree_cluster(285)
+    cluster.submit_and_wait(("create", "/node", b"", "", None))
+    cluster.run(0.5)
+    leader_id = cluster.leader().peer_id
+    follower_id = next(
+        peer_id for peer_id in cluster.config.voters
+        if peer_id != leader_id
+    )
+    client = make_client(cluster, prefer=follower_id)
+    events = []
+    client.submit(("get", "/node"),
+                  watch=lambda event, path: events.append(event))
+    cluster.run(0.5)
+    # The leader (not the watching peer) dies; the watch must survive
+    # the follower's re-sync to the new leader.
+    cluster.crash(leader_id)
+    cluster.run_until_stable(timeout=30)
+    cluster.submit_and_wait(("set", "/node", b"x", -1))
+    cluster.run_until(lambda: events, timeout=10)
+    assert events == ["changed"]
+
+
+def test_resync_replay_does_not_fire_spurious_watches():
+    cluster = tree_cluster(286)
+    cluster.submit_and_wait(("create", "/node", b"v", "", None))
+    cluster.run(0.5)
+    follower_id = next(
+        peer_id for peer_id, peer in cluster.peers.items()
+        if peer.is_active_follower
+    )
+    client = make_client(cluster, prefer=follower_id)
+    events = []
+    client.submit(("get", "/node"),
+                  watch=lambda event, path: events.append(event))
+    cluster.run(0.5)
+    # Force the watching peer through a full resync (leader crash): the
+    # replay re-applies /node's creation but must not fire the watch.
+    cluster.crash(cluster.leader().peer_id)
+    cluster.run_until_stable(timeout=30)
+    cluster.run(1.0)
+    assert events == []

@@ -1,0 +1,54 @@
+"""Unit tests for shared helpers."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.ids import client_id, format_node, is_client, parse_node
+from repro.common.util import clamp, fmt_bytes, majority, pairwise_disjoint
+
+
+def test_majority():
+    assert majority(1) == 1
+    assert majority(2) == 2
+    assert majority(3) == 2
+    assert majority(4) == 3
+    assert majority(5) == 3
+
+
+def test_pairwise_disjoint():
+    assert pairwise_disjoint([[1, 2], [3, 4]])
+    assert not pairwise_disjoint([[1, 2], [2, 3]])
+    assert pairwise_disjoint([])
+    assert pairwise_disjoint([[1]])
+
+
+def test_clamp():
+    assert clamp(5, 0, 10) == 5
+    assert clamp(-1, 0, 10) == 0
+    assert clamp(11, 0, 10) == 10
+    with pytest.raises(ValueError):
+        clamp(1, 10, 0)
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(512) == "512B"
+    assert fmt_bytes(2048) == "2.0KiB"
+    assert fmt_bytes(3 * 1024 * 1024) == "3.0MiB"
+    assert fmt_bytes(5 * 1024 ** 3) == "5.0GiB"
+
+
+def test_node_id_round_trips():
+    assert format_node(3) == "peer-3"
+    assert parse_node("peer-3") == 3
+    address = client_id("alice")
+    assert is_client(address)
+    assert not is_client(7)
+    assert parse_node(address) == address
+    assert format_node(address) == address
+
+
+def test_parse_node_rejects_garbage():
+    with pytest.raises(ConfigError):
+        parse_node("banana")
+    with pytest.raises(ConfigError):
+        parse_node("peer-x")

@@ -1,0 +1,117 @@
+"""Fault injection: a wedged (fail-stop) disk.
+
+A dying disk stops completing writes while the process keeps running.
+The protocol consequence is subtle and worth pinning: a peer that can no
+longer fsync can no longer *acknowledge*, so it silently drops out of
+the write quorum — and the rest of the ensemble must keep going without
+it, including when the wedged peer is the leader (its own ack is not
+required as long as a quorum of followers acks).
+"""
+
+from repro.harness import Cluster
+from repro.sim import Simulator
+from repro.storage import DiskModel, TxnLog
+from repro.zab.zxid import Zxid
+
+
+def test_wedged_disk_never_completes():
+    sim = Simulator()
+    disk = DiskModel(sim, fsync_latency=0.001, bandwidth_bps=1e9)
+    disk.wedge()
+    done = []
+    disk.write(100, lambda: done.append(True))
+    sim.run()
+    assert done == []
+    assert disk.dropped_writes == 1
+    disk.unwedge()
+    disk.write(100, lambda: done.append(True))
+    sim.run()
+    assert done == [True]
+
+
+def test_log_on_wedged_disk_never_acks():
+    sim = Simulator()
+    disk = DiskModel(sim, fsync_latency=0.001, bandwidth_bps=1e9)
+    log = TxnLog(disk)
+    disk.wedge()
+    acked = []
+    log.append(Zxid(1, 1), "t", size=10, callback=lambda: acked.append(1))
+    sim.run()
+    assert acked == []
+    assert log.last_durable() is None
+    # The record is still visible as appended (it sits in the device
+    # queue forever), so ordering invariants hold.
+    assert log.last_appended() == Zxid(1, 1)
+
+
+def test_wedged_follower_disk_does_not_block_commits():
+    cluster = Cluster(3, seed=330, disk="model").start()
+    cluster.run_until_stable(timeout=30)
+    follower = next(
+        peer for peer in cluster.peers.values() if peer.is_active_follower
+    )
+    follower.storage.log._disk.wedge()
+    for i in range(10):
+        cluster.submit_and_wait(("incr", "x", 1), timeout=30)
+    assert cluster.leader().sm.read(("get", "x")) == 10
+    # The wedged follower acknowledged nothing after the wedge.
+    cluster.assert_properties()
+
+
+def test_wedged_leader_disk_still_commits_via_follower_quorum():
+    """The leader's own fsync is NOT on the critical path when a quorum
+    of followers acks: with n=3, two follower acks commit the write even
+    though the leader can never log it locally."""
+    cluster = Cluster(3, seed=331, disk="model").start()
+    cluster.run_until_stable(timeout=30)
+    leader = cluster.leader()
+    leader.storage.log._disk.wedge()
+    done = []
+    for i in range(5):
+        cluster.submit(("incr", "x", 1),
+                       callback=lambda r, z: done.append(r))
+    cluster.run_until(lambda: len(done) == 5, timeout=30)
+    assert done[-1] == 5
+    # The leader delivered (applied) the txns without them being
+    # durable in its own log.
+    assert leader.sm.read(("get", "x")) == 5
+    assert leader.storage.log.last_durable() is None or (
+        leader.storage.log.bytes_after(None) >= 0
+    )
+    cluster.run(0.5)
+    cluster.assert_properties()
+
+
+def test_wedged_majority_blocks_and_leader_notices_stall():
+    """With both followers' disks wedged, nothing can commit; the
+    leader must detect the lack of ACK *progress* (pings keep flowing!)
+    and abdicate rather than pretend to lead a dead pipeline."""
+    cluster = Cluster(3, seed=332, disk="model").start()
+    cluster.run_until_stable(timeout=30)
+    leader = cluster.leader()
+    followers = [
+        peer for peer in cluster.peers.values() if peer.is_active_follower
+    ]
+    for follower in followers:
+        follower.storage.log._disk.wedge()
+    elections_before = leader.elections_decided
+    done = []
+    cluster.submit(("put", "k", 1), callback=lambda r, z: done.append(r))
+    cluster.run(1.0)
+    assert done == []         # no follower can ack: no quorum of logs
+    # The ack-progress check deposed the leader despite healthy pings
+    # (a new election followed; the stuck proposal was abandoned).
+    assert leader.elections_decided > elections_before
+
+    # Remediation: reboot the wedged boxes (their hung IO queues die
+    # with the process; durable state is intact).
+    for follower in followers:
+        follower.storage.log._disk.unwedge()
+        cluster.crash(follower.peer_id)
+    cluster.run(0.5)
+    for follower in followers:
+        cluster.recover(follower.peer_id)
+    cluster.run_until_stable(timeout=60)
+    result, _ = cluster.submit_and_wait(("put", "k2", 2), timeout=30)
+    assert result == 2
+    cluster.assert_properties()

@@ -1,0 +1,89 @@
+"""Unit tests for the cluster harness and fault scheduling."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.harness import Cluster, FaultSchedule
+
+
+def test_cluster_validation():
+    with pytest.raises(ConfigError):
+        Cluster(0)
+    with pytest.raises(ConfigError):
+        Cluster(3, disk="floppy")
+
+
+def test_describe_marks_crashes_and_leader():
+    cluster = Cluster(3, seed=60).start()
+    cluster.run_until_stable(timeout=30)
+    cluster.crash(1)
+    text = cluster.describe()
+    assert "1:CRASHED" in text
+    assert "*" in text
+
+
+def test_run_until_stable_times_out_without_quorum():
+    cluster = Cluster(3, seed=61)
+    cluster.peers[1].start()  # only a minority boots
+    with pytest.raises(TimeoutError):
+        cluster.run_until_stable(timeout=2.0)
+
+
+def test_submit_without_leader_raises():
+    cluster = Cluster(3, seed=62)
+    with pytest.raises(ConfigError):
+        cluster.submit(("put", "k", 1))
+
+
+def test_shared_disk_mode_contends():
+    dedicated = Cluster(3, seed=63, disk="model")
+    shared = Cluster(3, seed=63, disk="shared")
+    assert (
+        dedicated.storages[1].log._disk
+        is not dedicated.storages[2].log._disk
+    )
+    assert shared.storages[1].log._disk is shared.storages[2].log._disk
+
+
+def test_fault_schedule_records_events():
+    cluster = Cluster(3, seed=64)
+    schedule = FaultSchedule(cluster)
+    schedule.crash_at(1.0, 1).recover_at(2.0, 1)
+    cluster.start()
+    cluster.run_until_stable(timeout=30)
+    cluster.run_until(lambda: cluster.sim.now >= 2.5, timeout=10)
+    descriptions = [text for _t, text in schedule.events]
+    assert descriptions == ["crash peer 1", "recover peer 1"]
+
+
+def test_fault_schedule_crash_leader_and_follower():
+    cluster = Cluster(5, seed=65)
+    schedule = FaultSchedule(cluster)
+    schedule.crash_follower_at(1.0).crash_leader_at(2.0)
+    schedule.recover_all_at(3.0)
+    cluster.start()
+    cluster.run_until_stable(timeout=30)
+    cluster.run_until(lambda: cluster.sim.now >= 3.5, timeout=30)
+    kinds = [text.split(" peer")[0] for _t, text in schedule.events]
+    assert kinds[0] == "crash follower"
+    assert kinds[1] == "crash leader"
+    assert kinds.count("recover") == 2
+    cluster.run_until_stable(timeout=30)
+
+
+def test_partition_schedule():
+    cluster = Cluster(3, seed=66)
+    schedule = FaultSchedule(cluster)
+    schedule.partition_at(1.0, {1}, {2, 3}).heal_at(2.0)
+    cluster.start()
+    cluster.run_until_stable(timeout=30)
+    cluster.run_until(lambda: cluster.sim.now >= 2.5, timeout=10)
+    cluster.run_until_stable(timeout=30)
+    assert [text for _t, text in schedule.events][-1] == "heal"
+
+
+def test_states_excludes_crashed_and_unbuilt():
+    cluster = Cluster(3, seed=67).start()
+    cluster.run_until_stable(timeout=30)
+    cluster.crash(1)
+    assert 1 not in cluster.states()

@@ -1,0 +1,92 @@
+"""Heterogeneous-cluster network tests (per-node bandwidth)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.harness import Cluster
+from repro.net import Network, NetworkConfig
+from repro.sim import Simulator
+
+
+def test_node_bandwidth_override_applies():
+    sim = Simulator(seed=1)
+    net = Network(sim, NetworkConfig(bandwidth_bps=1e6, latency=0.0,
+                                     jitter=0.0))
+    times = {}
+    net.register(1, lambda s, p: None)
+    net.register(2, lambda s, p: None)
+    net.register(9, lambda s, p: times.setdefault(s, sim.now))
+    net.set_node_bandwidth(1, 1e3)   # 1 KB/s: a thousand times slower
+    net.send(1, 9, b"x" * 936)       # 1000 wire bytes
+    net.send(2, 9, b"x" * 936)
+    sim.run()
+    assert times[2] == pytest.approx(0.001, rel=0.01)
+    assert times[1] == pytest.approx(1.0, rel=0.01)
+    # Restoring the default brings the node back to full speed.
+    net.set_node_bandwidth(1, None)
+    start = sim.now
+    done = []
+    net.register(8, lambda s, p: done.append(sim.now))
+    net.send(1, 8, b"x" * 936)
+    sim.run()
+    assert done[0] - start == pytest.approx(0.001, rel=0.05)
+
+
+def test_invalid_bandwidth_rejected():
+    sim = Simulator(seed=1)
+    net = Network(sim, NetworkConfig(bandwidth_bps=1e6))
+    with pytest.raises(ConfigError):
+        net.set_node_bandwidth(1, 0)
+
+
+def test_slow_follower_nic_does_not_gate_commits():
+    """A follower with a 10x slower NIC slows its *own* acks' egress a
+    little, but the quorum can always be met by the faster follower —
+    commit latency stays near the fast path."""
+    cluster = Cluster(
+        3, seed=320,
+        net_config=NetworkConfig(bandwidth_bps=25e6, latency=0.0002),
+    ).start()
+    cluster.run_until_stable(timeout=30)
+    leader_id = cluster.leader().peer_id
+    followers = [
+        p for p in cluster.config.voters if p != leader_id
+    ]
+    cluster.network.set_node_bandwidth(followers[0], 2.5e5)
+    latencies = []
+    for _ in range(10):
+        done = []
+        t0 = cluster.sim.now
+        cluster.submit(("put", "k", "v" * 1024),
+                       callback=lambda r, z: done.append(
+                           cluster.sim.now - t0))
+        cluster.run_until(lambda: done, timeout=10)
+        latencies.append(done[0])
+    # Acks are tiny; even the slow NIC ships them quickly, and the fast
+    # follower bounds the quorum anyway: commits stay ~1ms.
+    assert max(latencies) < 0.01, latencies
+    cluster.assert_properties()
+
+
+def test_slow_leader_nic_gates_throughput():
+    """The converse: the LEADER's NIC is the broadcast bottleneck, so
+    slowing it down cuts cluster throughput proportionally."""
+    results = {}
+    for label, leader_bw in (("fast", None), ("slow", 5e6)):
+        cluster = Cluster(
+            3, seed=321,
+            net_config=NetworkConfig(bandwidth_bps=25e6),
+        ).start()
+        cluster.run_until_stable(timeout=30)
+        if leader_bw is not None:
+            cluster.network.set_node_bandwidth(
+                cluster.leader().peer_id, leader_bw
+            )
+        done = []
+        for i in range(300):
+            cluster.submit(("put", "k", "v" * 1024),
+                           callback=lambda r, z: done.append(r))
+        start = cluster.sim.now
+        cluster.run_until(lambda: len(done) == 300, timeout=60)
+        results[label] = 300 / (cluster.sim.now - start)
+    assert results["fast"] > results["slow"] * 3, results

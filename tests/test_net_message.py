@@ -1,0 +1,49 @@
+"""Unit tests for wire-size estimation."""
+
+from repro.net.message import HEADER_BYTES, Envelope, payload_size
+from repro.zab import messages
+from repro.zab.zxid import Zxid
+
+
+def test_bytes_payload_size():
+    assert payload_size(b"x" * 100) == HEADER_BYTES + 100
+
+
+def test_string_payload_size():
+    assert payload_size("abc") == HEADER_BYTES + 3
+
+
+def test_scalar_sizes():
+    assert payload_size(5) == HEADER_BYTES + 8
+    assert payload_size(None) == HEADER_BYTES + 1
+    assert payload_size(True) == HEADER_BYTES + 1
+
+
+def test_container_sizes_are_recursive():
+    flat = payload_size([b"x" * 10, b"y" * 20])
+    assert flat == HEADER_BYTES + 8 + 10 + 20
+
+
+def test_wire_size_hook_is_used():
+    propose = messages.Propose(Zxid(1, 1), None, 1024)
+    assert payload_size(propose) == HEADER_BYTES + propose.wire_size()
+    assert propose.wire_size() >= 1024
+
+
+def test_proposal_size_scales_with_payload():
+    small = payload_size(messages.Propose(Zxid(1, 1), None, 10))
+    large = payload_size(messages.Propose(Zxid(1, 1), None, 10000))
+    assert large - small == 9990
+
+
+def test_slots_objects_measured_structurally():
+    note = messages.Notification(
+        leader=1, zxid=Zxid(1, 5), peer_epoch=1, round=2,
+        sender_state=messages.LOOKING,
+    )
+    assert payload_size(note) > HEADER_BYTES
+
+
+def test_envelope_repr_mentions_route():
+    envelope = Envelope(1, 2, "hi", 66, 0.0)
+    assert "1->2" in repr(envelope)

@@ -1,0 +1,193 @@
+"""Unit tests for the simulated network fabric."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.net import Network, NetworkConfig
+from repro.sim import Simulator
+
+
+def make_net(**kwargs):
+    sim = Simulator(seed=1)
+    net = Network(sim, NetworkConfig(**kwargs))
+    return sim, net
+
+
+def collector(log, name):
+    return lambda src, payload: log.append((name, src, payload))
+
+
+def test_basic_delivery():
+    sim, net = make_net()
+    log = []
+    net.register(1, collector(log, 1))
+    net.register(2, collector(log, 2))
+    net.send(1, 2, "hello")
+    sim.run()
+    assert log == [(2, 1, "hello")]
+
+
+def test_fifo_per_pair_despite_jitter():
+    sim, net = make_net(jitter=0.01)
+    log = []
+    net.register(1, collector(log, 1))
+    net.register(2, collector(log, 2))
+    for i in range(50):
+        net.send(1, 2, i)
+    sim.run()
+    assert [payload for _n, _s, payload in log] == list(range(50))
+
+
+def test_latency_applied():
+    sim, net = make_net(latency=0.5, jitter=0.0)
+    times = []
+    net.register(1, lambda s, p: None)
+    net.register(2, lambda s, p: times.append(sim.now))
+    net.send(1, 2, "x")
+    sim.run()
+    assert times and times[0] >= 0.5
+
+
+def test_bandwidth_serialises_sends():
+    # Two 1000-byte messages over a 1000 B/s NIC: second arrives ~1s later.
+    sim, net = make_net(bandwidth_bps=1000.0, latency=0.0, jitter=0.0)
+    times = []
+    net.register(1, lambda s, p: None)
+    net.register(2, lambda s, p: times.append(sim.now))
+    net.send(1, 2, b"x" * 936)  # + 64 header = 1000 bytes
+    net.send(1, 2, b"y" * 936)
+    sim.run()
+    assert times[0] == pytest.approx(1.0, rel=0.01)
+    assert times[1] == pytest.approx(2.0, rel=0.01)
+
+
+def test_send_to_unknown_destination_is_dropped():
+    sim, net = make_net()
+    net.register(1, lambda s, p: None)
+    net.send(1, 99, "x")
+    sim.run()
+    assert net.stats.messages_dropped == 1
+
+
+def test_send_from_dead_node_is_dropped():
+    sim, net = make_net()
+    log = []
+    net.register(1, collector(log, 1))
+    net.register(2, collector(log, 2))
+    net.set_alive(1, False)
+    net.send(1, 2, "x")
+    sim.run()
+    assert log == []
+
+
+def test_message_in_flight_to_crashed_node_is_dropped():
+    sim, net = make_net(latency=1.0)
+    log = []
+    net.register(1, collector(log, 1))
+    net.register(2, collector(log, 2))
+    net.send(1, 2, "x")
+    sim.schedule(0.5, net.set_alive, 2, False)
+    sim.run()
+    assert log == []
+
+
+def test_reregistration_discards_preexisting_traffic():
+    # Like a TCP reset: messages sent before a restart never reach the
+    # new incarnation.
+    sim, net = make_net(latency=1.0)
+    log = []
+    net.register(1, collector(log, 1))
+    net.register(2, collector(log, 2))
+    net.send(1, 2, "stale")
+    sim.schedule(0.5, lambda: net.register(2, collector(log, 2)))
+    sim.run()
+    assert log == []
+    net.send(1, 2, "fresh")
+    sim.run()
+    assert [payload for _n, _s, payload in log] == ["fresh"]
+
+
+def test_partition_blocks_cross_group_traffic():
+    sim, net = make_net()
+    log = []
+    for node in (1, 2, 3):
+        net.register(node, collector(log, node))
+    net.partitions.partition([{1}, {2, 3}])
+    net.send(1, 2, "blocked")
+    net.send(2, 3, "allowed")
+    sim.run()
+    assert [(n, payload) for n, _s, payload in log] == [(3, "allowed")]
+
+
+def test_heal_restores_traffic():
+    sim, net = make_net()
+    log = []
+    net.register(1, collector(log, 1))
+    net.register(2, collector(log, 2))
+    net.partitions.partition([{1}, {2}])
+    net.send(1, 2, "lost")
+    net.partitions.heal()
+    net.send(1, 2, "found")
+    sim.run()
+    assert [payload for _n, _s, payload in log] == ["found"]
+
+
+def test_asymmetric_link_cut():
+    sim, net = make_net()
+    log = []
+    net.register(1, collector(log, 1))
+    net.register(2, collector(log, 2))
+    net.partitions.cut_link(1, 2, symmetric=False)
+    net.send(1, 2, "blocked")
+    net.send(2, 1, "allowed")
+    sim.run()
+    assert [(n, payload) for n, _s, payload in log] == [(1, "allowed")]
+
+
+def test_loss_rate_drops_messages():
+    sim, net = make_net(loss_rate=0.5)
+    log = []
+    net.register(1, collector(log, 1))
+    net.register(2, collector(log, 2))
+    for i in range(200):
+        net.send(1, 2, i)
+    sim.run()
+    assert 20 < len(log) < 180
+    assert net.stats.messages_dropped == 200 - len(log)
+
+
+def test_stats_accounting():
+    sim, net = make_net()
+    net.register(1, lambda s, p: None)
+    net.register(2, lambda s, p: None)
+    net.send(1, 2, b"x" * 100)
+    sim.run()
+    assert net.stats.messages_sent[1] == 1
+    assert net.stats.messages_received[2] == 1
+    assert net.stats.bytes_sent[1] == 164  # 100 + 64 header
+    assert net.stats.total_bytes() == 164
+
+
+def test_broadcast_helper():
+    sim, net = make_net()
+    log = []
+    for node in (1, 2, 3):
+        net.register(node, collector(log, node))
+    net.broadcast(1, [2, 3], "all")
+    sim.run()
+    assert sorted(n for n, _s, _p in log) == [2, 3]
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ConfigError):
+        NetworkConfig(latency=-1)
+    with pytest.raises(ConfigError):
+        NetworkConfig(loss_rate=1.5)
+    with pytest.raises(ConfigError):
+        NetworkConfig(bandwidth_bps=0)
+
+
+def test_set_alive_unknown_node_rejected():
+    _sim, net = make_net()
+    with pytest.raises(ConfigError):
+        net.set_alive(42, False)

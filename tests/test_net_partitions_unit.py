@@ -1,0 +1,69 @@
+"""Direct unit tests for the partition manager."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.net.partitions import PartitionManager
+
+
+def test_fully_connected_by_default():
+    manager = PartitionManager()
+    assert manager.connected(1, 2)
+    assert manager.connected(2, 1)
+
+
+def test_groups_block_cross_traffic():
+    manager = PartitionManager()
+    manager.partition([{1, 2}, {3}])
+    assert manager.connected(1, 2)
+    assert not manager.connected(1, 3)
+    assert not manager.connected(3, 2)
+
+
+def test_unlisted_nodes_form_implicit_group():
+    manager = PartitionManager()
+    manager.partition([{1}])
+    assert not manager.connected(1, 2)
+    assert manager.connected(2, 3)  # both implicit
+
+
+def test_overlapping_groups_rejected():
+    manager = PartitionManager()
+    with pytest.raises(ConfigError):
+        manager.partition([{1, 2}, {2, 3}])
+
+
+def test_heal_restores_but_keeps_cut_links():
+    manager = PartitionManager()
+    manager.partition([{1}, {2}])
+    manager.cut_link(3, 4)
+    manager.heal()
+    assert manager.connected(1, 2)
+    assert not manager.connected(3, 4)
+    assert not manager.connected(4, 3)
+
+
+def test_asymmetric_cut_and_restore():
+    manager = PartitionManager()
+    manager.cut_link(1, 2, symmetric=False)
+    assert not manager.connected(1, 2)
+    assert manager.connected(2, 1)
+    manager.restore_link(1, 2, symmetric=False)
+    assert manager.connected(1, 2)
+
+
+def test_restore_all_links():
+    manager = PartitionManager()
+    manager.cut_link(1, 2)
+    manager.cut_link(3, 4)
+    manager.restore_all_links()
+    assert manager.connected(1, 2)
+    assert manager.connected(3, 4)
+
+
+def test_repartition_replaces_previous_groups():
+    manager = PartitionManager()
+    manager.partition([{1}, {2, 3}])
+    manager.partition([{1, 2}, {3}])
+    assert manager.connected(1, 2)
+    assert not manager.connected(2, 3)

@@ -1,0 +1,91 @@
+"""Smaller-scope recipe behaviours (the big flows live in
+tests/integration/test_recipes.py)."""
+
+from repro.app import DataTreeStateMachine
+from repro.client import Client
+from repro.harness import Cluster
+from repro.recipes import DistributedLock, GroupMembership
+
+
+def tree_cluster(seed):
+    cluster = Cluster(
+        3, seed=seed, app_factory=DataTreeStateMachine,
+    ).start()
+    cluster.run_until_stable(timeout=30)
+    cluster.submit_and_wait(("create", "/lock", b"", "", None))
+    cluster.submit_and_wait(("create", "/group", b"", "", None))
+    return cluster
+
+
+def make_client(cluster, name):
+    return Client(
+        cluster.sim, cluster.network, name,
+        peers=list(cluster.config.all_peers),
+    )
+
+
+def test_release_without_acquire_is_noop():
+    cluster = tree_cluster(290)
+    lock = DistributedLock(make_client(cluster, "a"), "s", root="/lock")
+    lock.release()          # nothing to do, nothing to crash
+    assert not lock.holding
+
+
+def test_double_acquire_rejected():
+    cluster = tree_cluster(291)
+    cluster.submit_and_wait(("create_session", "s1", 30.0))
+    lock = DistributedLock(make_client(cluster, "a"), "s1", root="/lock")
+    acquired = []
+    lock.acquire(lambda l: acquired.append(True))
+    cluster.run_until(lambda: acquired, timeout=30)
+    try:
+        lock.acquire(lambda l: None)
+        raised = False
+    except RuntimeError:
+        raised = True
+    assert raised
+
+
+def test_release_reacquire_cycle():
+    cluster = tree_cluster(292)
+    cluster.submit_and_wait(("create_session", "s1", 30.0))
+    client = make_client(cluster, "a")
+    events = []
+    for round_index in range(3):
+        lock = DistributedLock(client, "s1", root="/lock")
+        lock.acquire(lambda l, i=round_index: events.append(i))
+        cluster.run_until(
+            lambda: len(events) == round_index + 1, timeout=30
+        )
+        lock.release()
+        cluster.run(0.5)
+    assert events == [0, 1, 2]
+    # The lock root drained completely.
+    assert cluster.leader().sm.read(("children", "/lock")) == []
+
+
+def test_membership_records_change_history():
+    cluster = tree_cluster(293)
+    for session in ("sa", "sb"):
+        cluster.submit_and_wait(("create_session", session, 30.0))
+    client = make_client(cluster, "m")
+    group = GroupMembership(client, root="/group")
+    group.watch(lambda members: None)
+    group.join("sa", "a")
+    cluster.run_until(lambda: group.members == ["a"], timeout=30)
+    group.join("sb", "b")
+    cluster.run_until(lambda: group.members == ["a", "b"], timeout=30)
+    group.leave("a")
+    cluster.run_until(lambda: group.members == ["b"], timeout=30)
+    assert group.changes == [["a"], ["a", "b"], ["b"]]
+
+
+def test_join_fails_cleanly_without_session():
+    cluster = tree_cluster(294)
+    client = make_client(cluster, "m")
+    group = GroupMembership(client, root="/group")
+    outcome = []
+    group.join("ghost-session", "x", callback=outcome.append)
+    cluster.run_until(lambda: outcome, timeout=30)
+    assert outcome == [False]
+    assert cluster.leader().sm.read(("children", "/group")) == []

@@ -1,0 +1,134 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.kernel import SimulationLimitError
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.3, fired.append, "c")
+    sim.schedule(0.1, fired.append, "a")
+    sim.schedule(0.2, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(1.0, fired.append, label)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_run_until_stops_before_future_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(5.0, fired.append, "late")
+    sim.run(until=2.0)
+    assert fired == ["early"]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_for_advances_relative_time():
+    sim = Simulator()
+    sim.run_for(1.0)
+    sim.run_for(2.0)
+    assert sim.now == 3.0
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+
+
+def test_scheduling_during_event_execution():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(0.5, fired.append, "second")
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == ["first", "second"]
+    assert sim.now == 1.5
+
+
+def test_zero_delay_event_runs_at_current_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [1.0]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_max_events_limit_raises():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.001, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(SimulationLimitError):
+        sim.run(max_events=100)
+
+
+def test_pending_counts_only_live_events():
+    sim = Simulator()
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    drop.cancel()
+    assert sim.pending() == 1
+    assert keep is not None
+
+
+def test_events_fired_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(0.1, lambda: None)
+    sim.run()
+    assert sim.events_fired == 5

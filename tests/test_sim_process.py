@@ -1,0 +1,92 @@
+"""Unit tests for the crash-recovery process abstraction."""
+
+import pytest
+
+from repro.common.errors import CrashedProcessError
+from repro.sim import Process, Simulator
+
+
+class Recorder(Process):
+    def __init__(self, sim):
+        Process.__init__(self, sim, "recorder")
+        self.crashes = 0
+        self.recoveries = 0
+
+    def on_crash(self):
+        self.crashes += 1
+
+    def on_recover(self):
+        self.recoveries += 1
+
+
+def test_timer_fires_when_alive():
+    sim = Simulator()
+    proc = Recorder(sim)
+    fired = []
+    proc.set_timer(1.0, fired.append, "tick")
+    sim.run()
+    assert fired == ["tick"]
+
+
+def test_crash_cancels_pending_timers():
+    sim = Simulator()
+    proc = Recorder(sim)
+    fired = []
+    proc.set_timer(1.0, fired.append, "tick")
+    sim.schedule(0.5, proc.crash)
+    sim.run()
+    assert fired == []
+    assert proc.crashes == 1
+
+
+def test_crashed_process_cannot_set_timers():
+    sim = Simulator()
+    proc = Recorder(sim)
+    proc.crash()
+    with pytest.raises(CrashedProcessError):
+        proc.set_timer(1.0, lambda: None)
+
+
+def test_crash_is_idempotent():
+    sim = Simulator()
+    proc = Recorder(sim)
+    proc.crash()
+    proc.crash()
+    assert proc.crashes == 1
+
+
+def test_recover_without_crash_is_noop():
+    sim = Simulator()
+    proc = Recorder(sim)
+    proc.recover()
+    assert proc.recoveries == 0
+
+
+def test_crash_then_recover_hooks():
+    sim = Simulator()
+    proc = Recorder(sim)
+    proc.crash()
+    proc.recover()
+    assert (proc.crashes, proc.recoveries) == (1, 1)
+    assert not proc.crashed
+
+
+def test_timer_set_before_crash_does_not_fire_after_recover():
+    sim = Simulator()
+    proc = Recorder(sim)
+    fired = []
+    proc.set_timer(2.0, fired.append, "stale")
+    sim.schedule(0.5, proc.crash)
+    sim.schedule(1.0, proc.recover)
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_timer():
+    sim = Simulator()
+    proc = Recorder(sim)
+    fired = []
+    timer = proc.set_timer(1.0, fired.append, "x")
+    proc.cancel_timer(timer)
+    sim.run()
+    assert fired == []

@@ -1,0 +1,108 @@
+"""Follower-context behaviours that deserve direct pinning."""
+
+from repro.harness import Cluster
+from repro.zab import messages
+from repro.zab.zxid import Zxid
+
+
+def stable_cluster(seed, **kwargs):
+    cluster = Cluster(3, seed=seed, **kwargs).start()
+    cluster.run_until_stable(timeout=30)
+    return cluster
+
+
+def active_follower(cluster):
+    return next(
+        peer for peer in cluster.peers.values() if peer.is_active_follower
+    )
+
+
+def test_duplicate_propose_is_acked_not_relogged():
+    cluster = stable_cluster(220)
+    cluster.submit_and_wait(("put", "k", 1))
+    cluster.run(0.3)
+    follower = active_follower(cluster)
+    leader_id = cluster.leader().peer_id
+    log_len = len(follower.storage.log)
+    # Replay the last proposal directly at the follower.
+    record = follower.storage.log.all_entries()[-1]
+    before_acks = cluster.network.stats.by_type.get("Ack", 0)
+    follower.ctx.on_message(
+        leader_id,
+        messages.Propose(record.zxid, record.txn, record.size),
+    )
+    cluster.run(0.1)
+    assert len(follower.storage.log) == log_len          # not re-logged
+    after_acks = cluster.network.stats.by_type.get("Ack", 0)
+    assert after_acks == before_acks + 1                  # but re-acked
+
+
+def test_messages_from_non_leader_are_ignored():
+    cluster = stable_cluster(221)
+    follower = active_follower(cluster)
+    other_follower = next(
+        peer for peer in cluster.peers.values()
+        if peer.is_active_follower and peer is not follower
+    )
+    state_before = follower.last_committed
+    # A bogus commit "from" another follower must do nothing.
+    follower.ctx.on_message(
+        other_follower.peer_id, messages.Commit(Zxid(99, 99))
+    )
+    assert follower.last_committed == state_before
+    assert follower.ctx.commit_frontier < Zxid(99, 99)
+
+
+def test_propose_with_wrong_epoch_is_ignored():
+    cluster = stable_cluster(222)
+    follower = active_follower(cluster)
+    leader_id = cluster.leader().peer_id
+    log_len = len(follower.storage.log)
+    follower.ctx.on_message(
+        leader_id,
+        messages.Propose(Zxid(99, 1), None, 64),
+    )
+    cluster.run(0.1)
+    assert len(follower.storage.log) == log_len
+
+
+def test_commit_arriving_before_durable_is_deferred():
+    # With a slow disk, the COMMIT for a proposal can overtake the local
+    # fsync; delivery must wait for durability.
+    cluster = stable_cluster(223, disk="model", fsync_latency=0.01)
+    done = []
+    cluster.submit(("put", "k", 1), callback=lambda r, z: done.append(r))
+    cluster.run_until(lambda: done, timeout=10)
+    cluster.run(1.0)
+    for peer in cluster.peers.values():
+        if peer.sm is not None:
+            assert peer.sm.read(("get", "k")) == 1
+    cluster.assert_properties()
+
+
+def test_ping_advances_commit_frontier():
+    cluster = stable_cluster(224)
+    follower = active_follower(cluster)
+    leader_id = cluster.leader().peer_id
+    cluster.submit_and_wait(("put", "k", 1))
+    # Even if the explicit Commit had been lost, a later Ping carrying
+    # the frontier triggers delivery.
+    frontier_before = follower.ctx.commit_frontier
+    follower.ctx.on_message(
+        leader_id,
+        messages.Ping(cluster.leader().last_committed),
+    )
+    assert follower.ctx.commit_frontier >= frontier_before
+    assert follower.sm.read(("get", "k")) == 1
+
+
+def test_follower_answers_history_request():
+    cluster = stable_cluster(225)
+    cluster.submit_and_wait(("put", "k", 1))
+    cluster.run(0.3)
+    follower = active_follower(cluster)
+    leader_id = cluster.leader().peer_id
+    sent_before = cluster.network.stats.by_type.get("HistoryResponse", 0)
+    follower.ctx.on_message(leader_id, messages.HistoryRequest())
+    sent_after = cluster.network.stats.by_type.get("HistoryResponse", 0)
+    assert sent_after == sent_before + 1

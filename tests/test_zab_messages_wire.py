@@ -1,0 +1,81 @@
+"""Wire-size sanity for every protocol message type.
+
+The bandwidth model only produces meaningful experiment shapes if
+payload-bearing messages scale with their payload and control messages
+stay small; this pins that contract for each message class.
+"""
+
+from repro.net.message import payload_size
+from repro.storage import Snapshot
+from repro.storage.records import LogRecord
+from repro.zab import messages
+from repro.zab.zxid import Zxid, ZXID_ZERO
+
+Z = Zxid(1, 1)
+
+
+def test_control_messages_are_small():
+    small = [
+        messages.FollowerInfo(1, Z),
+        messages.NewEpoch(2),
+        messages.AckEpoch(1, Z),
+        messages.NewLeader(2, last_zxid=Z),
+        messages.AckNewLeader(2, Z),
+        messages.UpToDate(2),
+        messages.Ack(Z),
+        messages.Commit(Z),
+        messages.Ping(Z),
+        messages.Pong(Z),
+        messages.HistoryRequest(),
+        messages.SyncRequest(("peer", 1)),
+        messages.SyncReply(("peer", 1), Z),
+        messages.WatchEvent("/a", "changed"),
+        messages.Notification(1, Z, 1, 1, messages.LOOKING),
+    ]
+    for message in small:
+        assert payload_size(message) < 300, type(message).__name__
+
+
+def test_payload_messages_scale_with_content():
+    for cls in (messages.Propose, messages.Inform, messages.SyncTxn):
+        small = payload_size(cls(Z, None, 100))
+        large = payload_size(cls(Z, None, 100000))
+        assert large - small == 99900, cls.__name__
+
+
+def test_sync_start_carries_snapshot_weight():
+    bare = payload_size(messages.SyncStart(messages.SYNC_DIFF))
+    snapshot = Snapshot(Z, ("blob", 1), 50000)
+    heavy = payload_size(
+        messages.SyncStart(messages.SYNC_SNAP, snapshot=snapshot)
+    )
+    assert heavy - bare == 50000
+
+
+def test_history_response_sums_records():
+    records = [LogRecord(Zxid(1, i), None, 1000) for i in range(1, 6)]
+    message = messages.HistoryResponse(1, records)
+    assert payload_size(message) >= 5000
+
+
+def test_client_messages():
+    request = messages.ClientRequest("r1", "client:a", ("put", "k", "v"),
+                                     size=500)
+    assert payload_size(request) >= 500
+    reply = messages.ClientReply("r1", True, result="v", zxid=Z)
+    assert payload_size(reply) < 300
+    forwarded = messages.ForwardedRequest("r1", "client:a", 2,
+                                          ("put", "k", "v"), size=500)
+    assert payload_size(forwarded) >= 500
+
+
+def test_notification_vote_key_ordering():
+    better = messages.Notification(2, Zxid(2, 1), 2, 1, messages.LOOKING)
+    worse = messages.Notification(9, Zxid(1, 50), 1, 1, messages.LOOKING)
+    assert better.vote() > worse.vote()
+    assert worse.vote()[2] == 9
+
+
+def test_zxid_zero_in_messages():
+    message = messages.AckEpoch(0, ZXID_ZERO)
+    assert payload_size(message) > 0

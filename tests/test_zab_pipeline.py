@@ -1,0 +1,83 @@
+"""Unit tests for the leader-side request pipeline helpers."""
+
+from repro.sim import Process, Simulator
+from repro.zab.pipeline import Batcher, OutstandingWindow, PendingRequest
+from repro.zab.zxid import Zxid
+
+
+class Host(Process):
+    def __init__(self, sim):
+        Process.__init__(self, sim, "host")
+
+
+def make_batcher(max_batch, delay):
+    sim = Simulator()
+    host = Host(sim)
+    flushed = []
+    batcher = Batcher(host, max_batch, delay, flushed.append)
+    return sim, batcher, flushed
+
+
+def test_batch_of_one_flushes_immediately():
+    _sim, batcher, flushed = make_batcher(1, 0.5)
+    batcher.add("a")
+    assert flushed == [["a"]]
+
+
+def test_zero_delay_flushes_immediately_regardless_of_size():
+    _sim, batcher, flushed = make_batcher(10, 0.0)
+    batcher.add("a")
+    batcher.add("b")
+    assert flushed == [["a"], ["b"]]
+
+
+def test_full_batch_flushes_without_waiting():
+    sim, batcher, flushed = make_batcher(3, 10.0)
+    for item in "abc":
+        batcher.add(item)
+    assert flushed == [["a", "b", "c"]]
+    assert sim.now == 0.0
+
+
+def test_partial_batch_flushes_on_timer():
+    sim, batcher, flushed = make_batcher(10, 0.2)
+    batcher.add("a")
+    batcher.add("b")
+    assert flushed == []
+    sim.run()
+    assert flushed == [["a", "b"]]
+    assert sim.now >= 0.2
+
+
+def test_manual_flush_cancels_timer():
+    sim, batcher, flushed = make_batcher(10, 0.2)
+    batcher.add("a")
+    batcher.flush()
+    assert flushed == [["a"]]
+    sim.run()
+    assert flushed == [["a"]]  # timer did not fire a second flush
+
+
+def test_close_drops_buffered_items():
+    sim, batcher, flushed = make_batcher(10, 0.2)
+    batcher.add("a")
+    assert len(batcher) == 1
+    batcher.close()
+    sim.run()
+    assert flushed == []
+    assert len(batcher) == 0
+
+
+def test_outstanding_window_head_order():
+    window = OutstandingWindow()
+    assert window.head() is None
+    window[Zxid(1, 1)] = "first"
+    window[Zxid(1, 2)] = "second"
+    assert window.head() == (Zxid(1, 1), "first")
+    del window[Zxid(1, 1)]
+    assert window.head() == (Zxid(1, 2), "second")
+
+
+def test_pending_request_repr():
+    request = PendingRequest("r1", "client:x", 2, ("put", "k", 1), 64)
+    assert "r1" in repr(request)

@@ -1,0 +1,119 @@
+"""Unit and property tests for quorum verifiers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.zab.quorum import (
+    HierarchicalQuorum,
+    MajorityQuorum,
+    WeightedQuorum,
+)
+
+
+# --- MajorityQuorum -----------------------------------------------------------
+
+def test_majority_thresholds():
+    assert MajorityQuorum([1]).threshold == 1
+    assert MajorityQuorum([1, 2, 3]).threshold == 2
+    assert MajorityQuorum(range(1, 6)).threshold == 3
+    assert MajorityQuorum(range(1, 5)).threshold == 3  # 4 voters need 3
+
+
+def test_majority_membership():
+    quorum = MajorityQuorum([1, 2, 3, 4, 5])
+    assert quorum.contains_quorum({1, 2, 3})
+    assert not quorum.contains_quorum({1, 2})
+    # Non-voters never count.
+    assert not quorum.contains_quorum({1, 2, 99})
+
+
+def test_majority_empty_rejected():
+    with pytest.raises(ConfigError):
+        MajorityQuorum([])
+
+
+@given(st.integers(min_value=1, max_value=7))
+def test_majority_intersection_property(n):
+    assert MajorityQuorum(range(n)).validate_intersection()
+
+
+# --- WeightedQuorum --------------------------------------------------------------
+
+def test_weighted_majority_of_weight():
+    quorum = WeightedQuorum({1: 1, 2: 1, 3: 3})
+    assert quorum.contains_quorum({3})          # 3 of 5 weight
+    assert not quorum.contains_quorum({1, 2})   # 2 of 5 weight
+
+
+def test_weighted_zero_weight_voters_do_not_count():
+    quorum = WeightedQuorum({1: 1, 2: 1, 3: 0})
+    assert quorum.contains_quorum({1, 2})
+    assert not quorum.contains_quorum({1, 3})
+
+
+def test_weighted_validation():
+    with pytest.raises(ConfigError):
+        WeightedQuorum({})
+    with pytest.raises(ConfigError):
+        WeightedQuorum({1: -1})
+    with pytest.raises(ConfigError):
+        WeightedQuorum({1: 0, 2: 0})
+
+
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=4),
+        min_size=1,
+        max_size=6,
+    ).filter(lambda weights: sum(weights.values()) > 0)
+)
+def test_weighted_intersection_property(weights):
+    assert WeightedQuorum(weights).validate_intersection()
+
+
+# --- HierarchicalQuorum ------------------------------------------------------------
+
+def test_hierarchical_needs_majority_of_groups():
+    quorum = HierarchicalQuorum({
+        "dc1": {1: 1, 2: 1, 3: 1},
+        "dc2": {4: 1, 5: 1, 6: 1},
+        "dc3": {7: 1, 8: 1, 9: 1},
+    })
+    # Majorities inside dc1 and dc2: quorum.
+    assert quorum.contains_quorum({1, 2, 4, 5})
+    # Majority in only one group: no quorum.
+    assert not quorum.contains_quorum({1, 2, 3, 4})
+
+
+def test_hierarchical_group_internal_weight():
+    quorum = HierarchicalQuorum({
+        "a": {1: 3, 2: 1},
+        "b": {3: 1},
+    })
+    assert quorum.contains_quorum({1, 3})
+    assert not quorum.contains_quorum({2, 3})  # 1 of 4 weight in group a
+
+
+def test_hierarchical_validation():
+    with pytest.raises(ConfigError):
+        HierarchicalQuorum({})
+    with pytest.raises(ConfigError):
+        HierarchicalQuorum({"a": {}})
+    with pytest.raises(ConfigError):
+        HierarchicalQuorum({"a": {1: 1}, "b": {1: 1}})
+
+
+def test_hierarchical_voters_union():
+    quorum = HierarchicalQuorum({"a": {1: 1, 2: 1}, "b": {3: 1}})
+    assert quorum.voters == frozenset({1, 2, 3})
+
+
+def test_hierarchical_intersection_small():
+    quorum = HierarchicalQuorum({
+        "a": {1: 1, 2: 1, 3: 1},
+        "b": {4: 1, 5: 1, 6: 1},
+        "c": {7: 1},
+    })
+    assert quorum.validate_intersection()

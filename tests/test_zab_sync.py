@@ -1,0 +1,130 @@
+"""Unit tests for synchronisation planning (DIFF / TRUNC / SNAP)."""
+
+import pytest
+
+from repro.storage import Snapshot, TxnLog
+from repro.zab import messages
+from repro.zab.sync import make_sync_plan
+from repro.zab.zxid import Zxid, ZXID_ZERO
+
+
+def z(epoch, counter):
+    return Zxid(epoch, counter)
+
+
+def leader_log(n=10, epoch=1):
+    log = TxnLog()
+    for i in range(1, n + 1):
+        log.append(z(epoch, i), "txn-%d" % i, size=100)
+    return log
+
+
+def fail_provider():
+    raise AssertionError("snapshot provider must not be called")
+
+
+def snap_provider(committed):
+    return lambda: Snapshot(committed, ("blob", 10), 5000)
+
+
+def test_up_to_date_follower_gets_empty_diff():
+    log = leader_log(5)
+    plan = make_sync_plan(log, z(1, 5), z(1, 5), 500, fail_provider)
+    assert plan.mode == messages.SYNC_DIFF
+    assert plan.records == []
+    assert plan.payload_bytes() == 0
+
+
+def test_lagging_follower_gets_diff_of_missing_records():
+    log = leader_log(10)
+    plan = make_sync_plan(log, z(1, 4), z(1, 10), 500, fail_provider)
+    assert plan.mode == messages.SYNC_DIFF
+    assert [record.zxid for record in plan.records] == [
+        z(1, i) for i in range(5, 11)
+    ]
+    assert plan.payload_bytes() == 600
+
+
+def test_empty_follower_gets_full_diff():
+    log = leader_log(3)
+    plan = make_sync_plan(log, ZXID_ZERO, z(1, 3), 500, fail_provider)
+    assert plan.mode == messages.SYNC_DIFF
+    assert len(plan.records) == 3
+
+
+def test_none_follower_last_treated_as_empty():
+    log = leader_log(2)
+    plan = make_sync_plan(log, None, z(1, 2), 500, fail_provider)
+    assert plan.mode == messages.SYNC_DIFF
+    assert len(plan.records) == 2
+
+
+def test_diff_excludes_uncommitted_leader_tail():
+    log = leader_log(10)
+    plan = make_sync_plan(log, z(1, 4), z(1, 7), 500, fail_provider)
+    assert [record.zxid for record in plan.records] == [
+        z(1, 5), z(1, 6), z(1, 7),
+    ]
+
+
+def test_follower_ahead_of_commit_gets_trunc():
+    log = leader_log(5)
+    plan = make_sync_plan(log, z(1, 9), z(1, 5), 500, fail_provider)
+    assert plan.mode == messages.SYNC_TRUNC
+    assert plan.trunc_zxid == z(1, 5)
+    assert plan.records == []
+
+
+def test_lag_beyond_threshold_triggers_snap():
+    log = leader_log(100)
+    plan = make_sync_plan(log, z(1, 1), z(1, 100), 50,
+                          snap_provider(z(1, 100)))
+    assert plan.mode == messages.SYNC_SNAP
+    assert plan.snapshot.last_zxid == z(1, 100)
+    assert plan.payload_bytes() == 5000
+
+
+def test_purged_log_triggers_snap_for_empty_follower():
+    log = leader_log(10)
+    log.purge_through(z(1, 6))
+    plan = make_sync_plan(log, ZXID_ZERO, z(1, 10), 500,
+                          snap_provider(z(1, 10)))
+    assert plan.mode == messages.SYNC_SNAP
+
+
+def test_follower_at_purge_boundary_gets_diff():
+    log = leader_log(10)
+    log.purge_through(z(1, 6))
+    plan = make_sync_plan(log, z(1, 6), z(1, 10), 500, fail_provider)
+    assert plan.mode == messages.SYNC_DIFF
+    assert [record.zxid for record in plan.records] == [
+        z(1, i) for i in range(7, 11)
+    ]
+
+
+def test_diverged_follower_triggers_snap():
+    # Follower's last zxid is from an epoch branch the leader never saw.
+    log = leader_log(5, epoch=2)
+    plan = make_sync_plan(log, z(1, 3), z(2, 5), 500,
+                          snap_provider(z(2, 5)))
+    assert plan.mode == messages.SYNC_SNAP
+
+
+def test_empty_leader_empty_follower():
+    log = TxnLog()
+    plan = make_sync_plan(log, ZXID_ZERO, None, 500, fail_provider)
+    assert plan.mode == messages.SYNC_DIFF
+    assert plan.records == []
+
+
+def test_empty_leader_follower_with_garbage_gets_trunc():
+    log = TxnLog()
+    plan = make_sync_plan(log, z(1, 3), None, 500, fail_provider)
+    assert plan.mode == messages.SYNC_TRUNC
+    assert plan.trunc_zxid == ZXID_ZERO
+
+
+def test_plan_repr_mentions_mode():
+    log = leader_log(2)
+    plan = make_sync_plan(log, ZXID_ZERO, z(1, 2), 500, fail_provider)
+    assert "diff" in repr(plan)

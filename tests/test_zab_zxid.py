@@ -1,0 +1,75 @@
+"""Unit and property tests for transaction identifiers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.zab.zxid import Zxid, ZXID_ZERO, max_zxid
+
+epochs = st.integers(min_value=0, max_value=2**31 - 1)
+counters = st.integers(min_value=0, max_value=2**32 - 1)
+zxids = st.builds(Zxid, epochs, counters)
+
+
+def test_ordering_epoch_dominates():
+    assert Zxid(1, 999) < Zxid(2, 0)
+
+
+def test_ordering_counter_within_epoch():
+    assert Zxid(3, 4) < Zxid(3, 5)
+
+
+def test_equality_and_hash():
+    assert Zxid(2, 7) == Zxid(2, 7)
+    assert hash(Zxid(2, 7)) == hash(Zxid(2, 7))
+    assert Zxid(2, 7) != Zxid(2, 8)
+    assert len({Zxid(1, 1), Zxid(1, 1), Zxid(1, 2)}) == 2
+
+
+def test_next_increments_counter_only():
+    assert Zxid(4, 9).next() == Zxid(4, 10)
+
+
+def test_zero_sorts_first():
+    assert ZXID_ZERO < Zxid(1, 0)
+    assert ZXID_ZERO <= Zxid(0, 0)
+
+
+def test_negative_parts_rejected():
+    with pytest.raises(ValueError):
+        Zxid(-1, 0)
+    with pytest.raises(ValueError):
+        Zxid(0, -1)
+
+
+def test_max_zxid_handles_none():
+    assert max_zxid(None, Zxid(1, 1)) == Zxid(1, 1)
+    assert max_zxid(Zxid(1, 1), None) == Zxid(1, 1)
+    assert max_zxid(Zxid(1, 2), Zxid(1, 1)) == Zxid(1, 2)
+    assert max_zxid(None, None) is None
+
+
+def test_comparison_with_non_zxid_not_supported():
+    assert Zxid(1, 1) != "zxid"
+    with pytest.raises(TypeError):
+        _ = Zxid(1, 1) < 5
+
+
+@given(zxids)
+def test_pack_unpack_roundtrip(zxid):
+    assert Zxid.unpack(zxid.packed()) == zxid
+
+
+@given(zxids, zxids)
+def test_packed_order_matches_tuple_order(a, b):
+    assert (a < b) == (a.packed() < b.packed())
+
+
+@given(zxids, zxids)
+def test_total_order(a, b):
+    assert (a < b) + (b < a) + (a == b) == 1
+
+
+@given(zxids, zxids, zxids)
+def test_transitivity(a, b, c):
+    if a < b and b < c:
+        assert a < c
