@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Validate a JSONL trace file against the documented schema.
+
+Usage::
+
+    python scripts/validate_trace.py trace.jsonl
+
+Checks every line against the format in docs/OBSERVABILITY.md:
+
+- each line is a JSON object with exactly the keys
+  ``t``, ``node``, ``kind``, ``fields``;
+- ``t`` is a non-negative number, and timestamps never go backwards;
+- ``node`` is an integer or null;
+- ``kind`` is a non-empty dotted lowercase string from the documented
+  catalogue (unknown kinds are an error — extend the catalogue and
+  docs/OBSERVABILITY.md together);
+- ``fields`` is a JSON object.
+
+Exits 0 and prints a per-kind tally on success; exits 1 with the
+offending line number on the first violation.
+"""
+
+import json
+import re
+import sys
+
+# The documented event catalogue (docs/OBSERVABILITY.md).
+KNOWN_KINDS = {
+    "net.send", "net.deliver", "net.drop",
+    "election.start", "election.decided",
+    "leader.phase", "leader.newepoch", "leader.sync",
+    "leader.established", "leader.propose",
+    "follower.sync", "follower.active",
+    "peer.state", "peer.looking", "peer.epoch", "peer.commit",
+    "fault.crash", "fault.recover", "fault.partition", "fault.heal",
+}
+
+KIND_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+
+def validate(handle):
+    """Yields nothing; raises ValueError at the first bad line."""
+    counts = {}
+    last_t = None
+    for lineno, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise ValueError("line %d: not JSON: %s" % (lineno, exc))
+        if not isinstance(record, dict):
+            raise ValueError("line %d: not an object" % lineno)
+        if set(record) != {"t", "node", "kind", "fields"}:
+            raise ValueError(
+                "line %d: keys %s != {t, node, kind, fields}"
+                % (lineno, sorted(record))
+            )
+        t = record["t"]
+        if not isinstance(t, (int, float)) or isinstance(t, bool) or t < 0:
+            raise ValueError("line %d: bad timestamp %r" % (lineno, t))
+        if last_t is not None and t < last_t:
+            raise ValueError(
+                "line %d: time went backwards (%r < %r)"
+                % (lineno, t, last_t)
+            )
+        last_t = t
+        node = record["node"]
+        if node is not None and (
+            not isinstance(node, int) or isinstance(node, bool)
+        ):
+            raise ValueError("line %d: bad node %r" % (lineno, node))
+        kind = record["kind"]
+        if not isinstance(kind, str) or not KIND_RE.match(kind):
+            raise ValueError("line %d: bad kind %r" % (lineno, kind))
+        if kind not in KNOWN_KINDS:
+            raise ValueError(
+                "line %d: undocumented kind %r (update the catalogue "
+                "and docs/OBSERVABILITY.md)" % (lineno, kind)
+            )
+        if not isinstance(record["fields"], dict):
+            raise ValueError(
+                "line %d: fields is %r, not an object"
+                % (lineno, type(record["fields"]).__name__)
+            )
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: python scripts/validate_trace.py TRACE.jsonl",
+              file=sys.stderr)
+        return 2
+    path = argv[1]
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            counts = validate(handle)
+        except ValueError as exc:
+            print("%s: INVALID: %s" % (path, exc), file=sys.stderr)
+            return 1
+    total = sum(counts.values())
+    if total == 0:
+        print("%s: INVALID: empty trace" % path, file=sys.stderr)
+        return 1
+    print("%s: OK (%d events, %d kinds)" % (path, total, len(counts)))
+    for kind in sorted(counts):
+        print("  %-24s %d" % (kind, counts[kind]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

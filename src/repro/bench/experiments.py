@@ -81,11 +81,13 @@ def e2_latency_vs_load(rates=(500, 1000, 2000, 4000, 8000, 12000),
             n_voters, op_size=_OP_SIZE, duration=duration, warmup=_WARMUP,
             seed=seed, bandwidth_bps=_BANDWIDTH, open_loop_rate=rate,
         )
+        p50 = result.latency.get("p50")
+        p99 = result.latency.get("p99")
         rows.append({
             "offered_rate": rate,
             "throughput": result.throughput,
-            "p50_ms": result.latency.get("p50", float("nan")) * 1000,
-            "p99_ms": result.latency.get("p99", float("nan")) * 1000,
+            "p50_ms": p50 * 1000 if p50 is not None else None,
+            "p99_ms": p99 * 1000 if p99 is not None else None,
         })
     table = render_table(
         ["offered ops/s", "achieved ops/s", "p50 (ms)", "p99 (ms)"],

@@ -25,6 +25,8 @@ def render_table(headers, rows, title=None):
 
 
 def _cell(value):
+    if value is None:
+        return "-"   # explicit "no measurement" marker (empty recorder)
     if isinstance(value, float):
         if value == 0:
             return "0"

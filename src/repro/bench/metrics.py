@@ -42,17 +42,32 @@ class LatencyRecorder:
         return len(self.samples)
 
     def mean(self):
+        """Mean latency; raises ValueError if nothing was recorded.
+
+        An empty recorder used to return NaN here, which propagated
+        silently through bench-report arithmetic; failing loudly makes
+        a broken measurement window a visible error instead.
+        """
         values = self.latencies()
-        return sum(values) / len(values) if values else float("nan")
+        if not values:
+            raise ValueError("no latency samples recorded")
+        return sum(values) / len(values)
 
     def pct(self, fraction):
+        """The *fraction*-quantile; raises ValueError when empty."""
         values = self.latencies()
-        return percentile(values, fraction) if values else float("nan")
+        if not values:
+            raise ValueError("no latency samples recorded")
+        return percentile(values, fraction)
 
     def summary(self):
-        """Dict of the stats the experiment tables report."""
+        """Dict of the stats the experiment tables report.
+
+        An empty recorder reports ``{"count": 0, "empty": True}`` so
+        consumers can branch explicitly rather than meeting NaN.
+        """
         if not self.samples:
-            return {"count": 0}
+            return {"count": 0, "empty": True}
         return {
             "count": self.count(),
             "mean": self.mean(),

@@ -10,6 +10,7 @@ bottoms out here (or in a small variation of it).
 from repro.bench.workloads import ClosedLoopDriver, OpenLoopDriver
 from repro.harness.cluster import Cluster
 from repro.net import NetworkConfig
+from repro.obs import MetricsRegistry
 
 # 1 gigabit/s expressed in bytes/s — the paper's testbed NIC class.
 GBE_BANDWIDTH = 125e6
@@ -19,7 +20,7 @@ class BenchResult:
     """One experiment data point."""
 
     def __init__(self, params, throughput, latency, duration, committed,
-                 net_stats, timeline, check_report=None):
+                 net_stats, timeline, check_report=None, metrics=None):
         self.params = params
         self.throughput = throughput      # committed ops / simulated second
         self.latency = latency            # summary dict (mean/p50/p95/p99)
@@ -28,6 +29,7 @@ class BenchResult:
         self.net_stats = net_stats
         self.timeline = timeline
         self.check_report = check_report
+        self.metrics = metrics            # repro.obs registry snapshot
 
     def __repr__(self):
         return "<BenchResult %.0f ops/s %r>" % (self.throughput, self.params)
@@ -57,13 +59,19 @@ def run_broadcast_bench(
     group_commit=True,
     open_loop_rate=None,
     check_properties=True,
+    tracer=None,
     **config_overrides
 ):
     """Run one saturated-broadcast (or open-loop) measurement.
 
     Returns a :class:`BenchResult`.  ``open_loop_rate`` switches from the
     closed-loop saturation driver to Poisson arrivals at the given rate.
+    An optional *tracer* (:class:`repro.obs.Tracer`) records structured
+    events from every layer; the result always carries a
+    :class:`repro.obs.MetricsRegistry` snapshot (commit counters, drop
+    reasons, streaming commit-latency percentiles).
     """
+    registry = MetricsRegistry()
     cluster = Cluster(
         n_voters,
         seed=seed,
@@ -73,19 +81,24 @@ def run_broadcast_bench(
         disk=disk,
         fsync_latency=fsync_latency,
         group_commit=group_commit,
+        tracer=tracer,
+        metrics=registry,
         **config_overrides
     )
     cluster.start()
     cluster.run_until_stable(timeout=60.0)
 
+    commit_latency = registry.histogram("bench.commit_latency_s")
     op_factory = default_op_factory(op_size)
     if open_loop_rate is not None:
         driver = OpenLoopDriver(
-            cluster, open_loop_rate, op_factory, op_size, warmup=warmup
+            cluster, open_loop_rate, op_factory, op_size, warmup=warmup,
+            latency_histogram=commit_latency,
         )
     else:
         driver = ClosedLoopDriver(
-            cluster, outstanding, op_factory, op_size, warmup=warmup
+            cluster, outstanding, op_factory, op_size, warmup=warmup,
+            latency_histogram=commit_latency,
         )
     start_time = cluster.sim.now
     driver.start()
@@ -97,6 +110,8 @@ def run_broadcast_bench(
     measured_window = duration
     committed = driver.latency.count()
     throughput = committed / measured_window if measured_window > 0 else 0.0
+    registry.counter("bench.committed").inc(committed)
+    registry.counter("bench.submitted").inc(driver.submitted)
 
     report = cluster.check_properties() if check_properties else None
     if report is not None and not report.ok:
@@ -121,4 +136,5 @@ def run_broadcast_bench(
         net_stats=cluster.network.stats.snapshot(),
         timeline=driver.timeline,
         check_report=report,
+        metrics=registry.snapshot(),
     )

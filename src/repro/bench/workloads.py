@@ -21,13 +21,17 @@ from repro.common.errors import NotLeaderError
 
 class _DriverBase:
     def __init__(self, cluster, op_factory, op_size, warmup=0.0,
-                 timeline_bucket=0.1):
+                 timeline_bucket=0.1, latency_histogram=None):
         self.cluster = cluster
         self.op_factory = op_factory
         self.op_size = op_size
         self.latency = LatencyRecorder(
             warmup_until=cluster.sim.now + warmup
         )
+        # Optional streaming histogram (repro.obs) fed alongside the
+        # exact recorder; lets bench reports carry sketch percentiles.
+        self.latency_histogram = latency_histogram
+        self._warmup_until = cluster.sim.now + warmup
         self.timeline = Timeline(bucket=timeline_bucket)
         self.submitted = 0
         self.committed = 0
@@ -48,6 +52,8 @@ class _DriverBase:
             now = self.cluster.sim.now
             self.committed += 1
             self.latency.record(now, now - t0)
+            if self.latency_histogram is not None and now >= self._warmup_until:
+                self.latency_histogram.observe(now - t0)
             self.timeline.add(now)
             self._on_commit()
 
@@ -85,10 +91,11 @@ class ClosedLoopDriver(_DriverBase):
 
     def __init__(self, cluster, outstanding, op_factory, op_size,
                  warmup=0.0, retry_interval=0.05, stall_timeout=0.5,
-                 timeline_bucket=0.1):
+                 timeline_bucket=0.1, latency_histogram=None):
         _DriverBase.__init__(
             self, cluster, op_factory, op_size, warmup=warmup,
             timeline_bucket=timeline_bucket,
+            latency_histogram=latency_histogram,
         )
         self.outstanding = outstanding
         self.retry_interval = retry_interval
@@ -138,10 +145,11 @@ class OpenLoopDriver(_DriverBase):
     """Poisson arrivals at *rate* operations per simulated second."""
 
     def __init__(self, cluster, rate, op_factory, op_size, warmup=0.0,
-                 timeline_bucket=0.1):
+                 timeline_bucket=0.1, latency_histogram=None):
         _DriverBase.__init__(
             self, cluster, op_factory, op_size, warmup=warmup,
             timeline_bucket=timeline_bucket,
+            latency_histogram=latency_histogram,
         )
         if rate <= 0:
             raise ValueError("rate must be positive")

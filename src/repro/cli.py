@@ -5,6 +5,7 @@ Usage (after ``pip install -e .``)::
     python -m repro experiment e1          # regenerate a paper artifact
     python -m repro experiment all
     python -m repro bench --servers 5      # one custom throughput run
+    python -m repro trace -o trace.jsonl   # traced crash/recovery timeline
     python -m repro fuzz --seed 7          # random fault injection + check
     python -m repro info                   # inventory
 
@@ -74,7 +75,63 @@ def cmd_bench(args):
     ))
     print("properties:   %s"
           % ("OK" if result.check_report.ok else "VIOLATED"))
+    metrics = result.metrics
+    hist = metrics["histograms"]["bench.commit_latency_s"]
+    if hist["count"]:
+        print("obs sketch:   p50=%.2fms p99=%.2fms (%d samples, ~2%% err)"
+              % (hist["p50"] * 1e3, hist["p99"] * 1e3, hist["count"]))
+    print("obs counters: committed=%d commits=%d elections=%d drops=%d"
+          % (metrics["counters"]["bench.committed"],
+             metrics["zab"]["commits"],
+             metrics["zab"]["elections_decided"],
+             metrics["net"]["messages_dropped"]))
     return 0
+
+
+def cmd_trace(args):
+    from repro import obs
+    from repro.harness.scenarios import crash_recovery_timeline
+
+    # Open the output first: a bad path should fail before the
+    # scenario burns ten seconds of simulation.
+    try:
+        out = open(args.out, "w", encoding="utf-8")
+    except OSError as exc:
+        print("cannot write %s: %s" % (args.out, exc), file=sys.stderr)
+        return 2
+    tracer = obs.Tracer()
+    if not args.net:
+        # Wire-level events dominate the file (~10 per op); keep the
+        # default trace focused on the protocol timeline.
+        tracer.disable("net.")
+    registry = obs.MetricsRegistry()
+    cluster, driver, schedule = crash_recovery_timeline(
+        n_voters=args.servers,
+        seed=args.seed,
+        rate=args.rate,
+        duration=args.duration,
+        tracer=tracer,
+        metrics=registry,
+    )
+    with out:
+        count = obs.dump_jsonl(tracer, out)
+    print(obs.render_summary(obs.summarize(tracer.events)))
+    print()
+    snapshot = registry.snapshot()
+    print("zab:        commits=%d elections=%d leader=%s epoch=%s"
+          % (snapshot["zab"]["commits"],
+             snapshot["zab"]["elections_decided"],
+             snapshot["zab"]["leader"], snapshot["zab"]["epoch"]))
+    print("net:        sent=%d dropped=%d  drops by reason: %s"
+          % (sum(snapshot["net"]["messages_sent"].values()),
+             snapshot["net"]["messages_dropped"],
+             snapshot["net"]["drops_by_reason"]))
+    print("driver:     submitted=%d committed=%d"
+          % (driver.submitted, driver.committed))
+    print("trace:      %d events -> %s" % (count, args.out))
+    report = cluster.check_properties()
+    print("properties: %s" % ("OK" if report.ok else "VIOLATED"))
+    return 0 if report.ok else 1
 
 
 def cmd_fuzz(args):
@@ -170,6 +227,22 @@ def build_parser():
     p_bench.add_argument("--disk", action="store_true",
                          help="enable the fsync/disk model")
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="traced crash/recovery scenario -> JSONL + phase summary",
+    )
+    p_trace.add_argument("--servers", type=int, default=5)
+    p_trace.add_argument("--seed", type=int, default=3)
+    p_trace.add_argument("--rate", type=float, default=2000.0,
+                         help="open-loop offered load in ops/s")
+    p_trace.add_argument("--duration", type=float, default=8.0,
+                         help="simulated seconds after stability")
+    p_trace.add_argument("-o", "--out", default="trace.jsonl",
+                         help="JSONL output path (default trace.jsonl)")
+    p_trace.add_argument("--net", action="store_true",
+                         help="include wire-level net.* events (large)")
+    p_trace.set_defaults(fn=cmd_trace)
 
     p_fuzz = sub.add_parser(
         "fuzz", help="random crash/recover run + property check"

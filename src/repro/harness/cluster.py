@@ -11,6 +11,7 @@ from repro.app.kvstore import KVStateMachine
 from repro.checker import check_all, Trace
 from repro.common.errors import ConfigError
 from repro.net import Network, NetworkConfig
+from repro.obs import NULL_TRACER
 from repro.sim import Simulator
 from repro.storage.disk import DiskModel
 from repro.zab.config import ZabConfig
@@ -39,6 +40,14 @@ class Cluster:
         the paper's shared-device anti-pattern, experiment E7).
     fsync_latency / disk_bandwidth:
         Parameters for the disk model(s).
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; it is bound to the
+        simulator's clock and handed to the network and every peer.
+        Defaults to the zero-overhead no-op tracer.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; when given, the
+        kernel, network stats, and protocol counters register
+        themselves as lazily-read providers/gauges on it.
     config_overrides:
         Extra keyword arguments forwarded to
         :class:`~repro.zab.config.ZabConfig`.
@@ -47,11 +56,17 @@ class Cluster:
     def __init__(self, n_voters, n_observers=0, seed=0, net_config=None,
                  app_factory=KVStateMachine, disk=None, fsync_latency=0.0005,
                  disk_bandwidth=200e6, group_commit=True, trace=None,
-                 **config_overrides):
+                 tracer=None, metrics=None, **config_overrides):
         if n_voters < 1:
             raise ConfigError("need at least one voter")
         self.sim = Simulator(seed=seed)
-        self.network = Network(self.sim, net_config or NetworkConfig())
+        self.tracer = (tracer if tracer is not None else NULL_TRACER).bind(
+            self.sim
+        )
+        self.metrics = metrics
+        self.network = Network(
+            self.sim, net_config or NetworkConfig(), tracer=self.tracer
+        )
         self.trace = trace if trace is not None else Trace()
         voters = tuple(range(1, n_voters + 1))
         observers = tuple(
@@ -85,7 +100,40 @@ class Cluster:
             self.peers[peer_id] = ZabPeer(
                 self.sim, self.network, peer_id, self.config,
                 app_factory=app_factory, storage=storage, trace=self.trace,
+                tracer=self.tracer,
             )
+        if self.metrics is not None:
+            self._register_metrics(self.metrics)
+
+    def _register_metrics(self, registry):
+        """Plug cluster-wide sources into *registry* (lazy reads only)."""
+        self.sim.attach_metrics(registry)
+        registry.register_provider("net", self.network.stats.snapshot)
+        registry.register_provider("zab", self._zab_metrics)
+
+    def _zab_metrics(self):
+        """Aggregate protocol counters across peers (snapshot provider)."""
+        leader = self.leader()
+        data = {
+            "commits": sum(
+                peer.delivered_count for peer in self.peers.values()
+            ),
+            "elections_decided": sum(
+                peer.elections_decided for peer in self.peers.values()
+            ),
+            "live_peers": sum(
+                1 for peer in self.peers.values() if not peer.crashed
+            ),
+            "leader": leader.peer_id if leader is not None else None,
+            "epoch": leader.current_epoch() if leader is not None else None,
+        }
+        if leader is not None and leader.ctx is not None:
+            data["leader_commits"] = leader.ctx.commits
+            data["leader_proposals"] = leader.ctx.counter
+            data["leader_acks_received"] = leader.ctx.acks_received
+            data["leader_outstanding"] = len(leader.ctx.proposals)
+            data["sync_modes"] = dict(leader.ctx.sync_modes)
+        return data
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -192,15 +240,26 @@ class Cluster:
     # ------------------------------------------------------------------
 
     def crash(self, peer_id):
-        self.peers[peer_id].crash()
+        peer = self.peers[peer_id]
+        self.tracer.emit(
+            "fault.crash", node=peer_id,
+            was_leader=(not peer.crashed and peer.is_established_leader),
+        )
+        peer.crash()
 
     def recover(self, peer_id):
+        self.tracer.emit("fault.recover", node=peer_id)
         self.peers[peer_id].recover()
 
     def partition(self, *groups):
+        self.tracer.emit(
+            "fault.partition",
+            groups=[sorted(group) for group in groups],
+        )
         self.network.partitions.partition(groups)
 
     def heal(self):
+        self.tracer.emit("fault.heal")
         self.network.partitions.heal()
 
     # ------------------------------------------------------------------

@@ -40,7 +40,7 @@ class FaultSchedule:
             leader = self.cluster.leader()
             if leader is not None:
                 self._log("crash leader peer %d" % leader.peer_id)
-                leader.crash()
+                self.cluster.crash(leader.peer_id)
 
         self.cluster.sim.schedule_at(time, fire)
         return self
@@ -55,7 +55,7 @@ class FaultSchedule:
                     and peer.is_active_follower
                 ):
                     self._log("crash follower peer %d" % peer.peer_id)
-                    peer.crash()
+                    self.cluster.crash(peer.peer_id)
                     return
 
         self.cluster.sim.schedule_at(time, fire)
@@ -67,7 +67,7 @@ class FaultSchedule:
             for peer in self.cluster.peers.values():
                 if peer.crashed:
                     self._log("recover peer %d" % peer.peer_id)
-                    peer.recover()
+                    self.cluster.recover(peer.peer_id)
 
         self.cluster.sim.schedule_at(time, fire)
         return self

@@ -79,6 +79,53 @@ def leader_churn(cluster, rounds, timeout=60.0, write_between=True):
     return epochs
 
 
+def crash_recovery_timeline(n_voters=5, seed=3, rate=2000, tracer=None,
+                            metrics=None, follower_crash_at=2.0,
+                            leader_crash_at=4.0, recover_at=6.0,
+                            duration=8.0, bandwidth_bps=25e6,
+                            op_size=1024):
+    """The E3 anatomy run: load, follower crash, leader crash, recovery.
+
+    Builds its own cluster (optionally instrumented with *tracer* /
+    *metrics* from :mod:`repro.obs`), drives it with an open-loop
+    workload, crashes a follower and later the leader on a fixed
+    schedule, recovers everyone, and lets service resume.  This is the
+    scenario behind ``repro trace``: its event stream contains the
+    full leader-crash anatomy — fault, election, sync strategy,
+    resumed commits.  Returns ``(cluster, driver, schedule)``.
+    """
+    from repro.bench.runner import default_op_factory
+    from repro.bench.workloads import OpenLoopDriver
+    from repro.harness.cluster import Cluster
+    from repro.harness.faults import FaultSchedule
+    from repro.net import NetworkConfig
+
+    cluster = Cluster(
+        n_voters, seed=seed,
+        net_config=NetworkConfig(
+            bandwidth_bps=bandwidth_bps, latency=0.0002
+        ),
+        tracer=tracer, metrics=metrics,
+    ).start()
+    cluster.run_until_stable(timeout=60.0)
+    driver = OpenLoopDriver(
+        cluster, rate, default_op_factory(op_size), op_size, warmup=0.0,
+    )
+    schedule = FaultSchedule(cluster)
+    t0 = cluster.sim.now
+    if follower_crash_at is not None:
+        schedule.crash_follower_at(t0 + follower_crash_at)
+    if leader_crash_at is not None:
+        schedule.crash_leader_at(t0 + leader_crash_at)
+    if recover_at is not None:
+        schedule.recover_all_at(t0 + recover_at)
+    driver.start()
+    cluster.run(duration)
+    driver.stop()
+    cluster.run(0.5)   # let in-flight operations finish
+    return cluster, driver, schedule
+
+
 def measure_recovery_gap(cluster, rate_probe_interval=0.01, timeout=60.0):
     """Crash the current leader and measure the write-unavailability gap.
 

@@ -22,6 +22,7 @@ from repro.common.errors import ConfigError
 from repro.net.message import Envelope, payload_size
 from repro.net.partitions import PartitionManager
 from repro.net.stats import NetworkStats
+from repro.obs.trace import NULL_TRACER
 
 # Minimum spacing enforced between two deliveries on the same (src, dst)
 # pair, so jitter can never reorder a FIFO channel.
@@ -61,11 +62,12 @@ class NetworkConfig:
 class Network:
     """Routes messages between registered handlers over simulated links."""
 
-    def __init__(self, sim, config=None):
+    def __init__(self, sim, config=None, tracer=None):
         self.sim = sim
         self.config = config or NetworkConfig()
         self.partitions = PartitionManager()
         self.stats = NetworkStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._handlers = {}
         self._alive = {}
         self._incarnation = {}
@@ -149,18 +151,24 @@ class Network:
         envelope = Envelope(src, dst, payload, size, self.sim.now)
 
         if not self._alive.get(src, False):
-            self.stats.record_drop()
+            self._drop(envelope, src, "src-dead")
             return envelope
         if dst not in self._handlers:
-            self.stats.record_drop()
+            self._drop(envelope, dst, "unknown-dest")
             return envelope
         if not self.partitions.connected(src, dst):
-            self.stats.record_drop()
+            self._drop(envelope, dst, "partitioned")
             return envelope
         if self.config.loss_rate and self._rng.random() < self.config.loss_rate:
-            self.stats.record_drop()
+            self._drop(envelope, dst, "loss")
             return envelope
 
+        tracer = self.tracer
+        if tracer.active:
+            tracer.emit(
+                "net.send", node=src, dst=dst,
+                type=type(payload).__name__, size=size,
+            )
         arrival = self._arrival_time(src, dst, size)
         target_incarnation = self._incarnation[dst]
         self.sim.schedule_at(
@@ -201,13 +209,31 @@ class Network:
         self._last_arrival[(src, dst)] = arrival
         return arrival
 
+    def _drop(self, envelope, node, reason):
+        """Account one dropped message (stats + optional trace event)."""
+        self.stats.record_drop(node, reason)
+        tracer = self.tracer
+        if tracer.active:
+            tracer.emit(
+                "net.drop", node=node, reason=reason,
+                src=envelope.src, dst=envelope.dst,
+                type=type(envelope.payload).__name__,
+            )
+
     def _deliver(self, envelope, target_incarnation):
         dst = envelope.dst
         if not self._alive.get(dst, False):
-            self.stats.record_drop()
+            self._drop(envelope, dst, "dest-dead")
             return
         if self._incarnation.get(dst) != target_incarnation:
-            self.stats.record_drop()
+            self._drop(envelope, dst, "stale-incarnation")
             return
         self.stats.record_receive(dst, envelope.size)
+        tracer = self.tracer
+        if tracer.active:
+            tracer.emit(
+                "net.deliver", node=dst, src=envelope.src,
+                type=type(envelope.payload).__name__, size=envelope.size,
+                latency=self.sim.now - envelope.send_time,
+            )
         self._handlers[dst](envelope.src, envelope.payload)

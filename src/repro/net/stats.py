@@ -14,6 +14,8 @@ class NetworkStats:
         self.by_type = collections.Counter()        # payload class -> sends
         self.bytes_by_type = collections.Counter()  # payload class -> bytes
         self.messages_dropped = 0
+        self.drops_by_reason = collections.Counter()  # reason -> drops
+        self.drops_by_node = collections.Counter()    # node -> drops
 
     def record_send(self, node, size, payload_type=None):
         self.bytes_sent[node] += size
@@ -26,8 +28,18 @@ class NetworkStats:
         self.bytes_received[node] += size
         self.messages_received[node] += 1
 
-    def record_drop(self):
+    def record_drop(self, node=None, reason="unknown"):
+        """Count one dropped message.
+
+        *node* is the endpoint the drop is charged to (the dead source,
+        or the unreachable destination); *reason* is a short stable
+        string (``"src-dead"``, ``"unknown-dest"``, ``"partitioned"``,
+        ``"loss"``, ``"dest-dead"``, ``"stale-incarnation"``).
+        """
         self.messages_dropped += 1
+        self.drops_by_reason[reason] += 1
+        if node is not None:
+            self.drops_by_node[node] += 1
 
     def total_bytes(self):
         """Total bytes placed on the wire."""
@@ -47,4 +59,6 @@ class NetworkStats:
             "by_type": dict(self.by_type),
             "bytes_by_type": dict(self.bytes_by_type),
             "messages_dropped": self.messages_dropped,
+            "drops_by_reason": dict(self.drops_by_reason),
+            "drops_by_node": dict(self.drops_by_node),
         }

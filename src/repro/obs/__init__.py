@@ -1,0 +1,56 @@
+"""Observability: structured tracing, metrics, and phase timelines.
+
+The measurement substrate for every layer of the reproduction:
+
+- :mod:`repro.obs.trace` — :class:`Tracer` records virtual-time-stamped
+  ``(t, node, kind, fields)`` events with per-kind filtering and a
+  zero-overhead :data:`NULL_TRACER` default; traces round-trip through
+  JSON Lines.
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry` holds counters,
+  gauges, and streaming (bucketed) latency histograms, plus providers
+  that adapt existing stats objects into one snapshot.
+- :mod:`repro.obs.timeline` — reconstructs per-epoch
+  ``election -> sync -> broadcast`` phase spans from a trace (the
+  ``repro trace`` CLI output).
+
+Event kinds, metric names, and the trace file format are documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+)
+from repro.obs.timeline import (
+    fault_events,
+    phase_spans,
+    render_summary,
+    summarize,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    dump_jsonl,
+    load_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "StreamingHistogram",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "dump_jsonl",
+    "load_jsonl",
+    "fault_events",
+    "phase_spans",
+    "render_summary",
+    "summarize",
+]

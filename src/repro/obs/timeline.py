@@ -1,0 +1,177 @@
+"""Phase-span reconstruction from a structured trace.
+
+Turns the flat event stream of a :class:`~repro.obs.trace.Tracer` back
+into the protocol's shape: for every leadership epoch, when the
+election started, when a leader was decided, how long synchronisation
+took, which sync strategies were served, when the first commit of the
+new epoch landed, and how many commits the epoch delivered.  This is
+the machinery behind ``repro trace`` — the DSN'11 evaluation's E3/A1
+timelines (throughput through a leader crash, recovery anatomy) fall
+straight out of these spans.
+
+The reconstruction only relies on the cheap, always-on protocol kinds
+(``election.*``, ``leader.*``, ``fault.*``, ``peer.commit``); traces
+with per-message kinds disabled summarise identically.
+"""
+
+def phase_spans(events):
+    """Reconstruct per-epoch ``election -> sync -> broadcast`` spans.
+
+    Returns a list of dicts, one per established epoch, in time order::
+
+        {
+            "epoch": 3, "leader": 4,
+            "election_start": 6.01, "decided_at": 6.25,
+            "established_at": 6.30, "end": 8.00,
+            "election_s": 0.24, "sync_s": 0.05,
+            "sync_modes": {"DIFF": 3},
+            "first_commit_at": 6.31, "commits": 1234,
+        }
+
+    ``end`` is the time the epoch stopped broadcasting (the next
+    election began or the trace ended); timing fields are ``None``
+    when the trace does not cover them.
+    """
+    spans = []
+    election_start = None     # first election.start since last establish
+    decided = {}              # candidate leader -> earliest decided time
+    sync_modes = {}           # leader's sync choices since decided
+    current = None            # the span currently broadcasting
+
+    def close_current(t):
+        if current is not None and current["end"] is None:
+            current["end"] = t
+
+    for event in events:
+        kind = event.kind
+        if kind == "election.start":
+            if election_start is None:
+                election_start = event.t
+                close_current(event.t)
+        elif kind == "election.decided":
+            leader = event.fields.get("leader")
+            if leader is not None and leader not in decided:
+                decided[leader] = event.t
+        elif kind == "leader.sync":
+            modes = sync_modes.setdefault(event.node, {})
+            mode = event.fields.get("mode", "?")
+            modes[mode] = modes.get(mode, 0) + 1
+        elif kind == "leader.established":
+            close_current(event.t)
+            leader = event.node
+            decided_at = decided.get(leader)
+            span = {
+                "epoch": event.fields.get("epoch"),
+                "leader": leader,
+                "election_start": election_start,
+                "decided_at": decided_at,
+                "established_at": event.t,
+                "end": None,
+                "election_s": (
+                    decided_at - election_start
+                    if decided_at is not None and election_start is not None
+                    else None
+                ),
+                "sync_s": (
+                    event.t - decided_at if decided_at is not None else None
+                ),
+                "sync_modes": sync_modes.pop(leader, {}),
+                "first_commit_at": None,
+                "commits": 0,
+            }
+            spans.append(span)
+            current = span
+            election_start = None
+            decided = {}
+        elif kind == "peer.commit":
+            if current is not None and event.node == current["leader"]:
+                current["commits"] += 1
+                if current["first_commit_at"] is None:
+                    current["first_commit_at"] = event.t
+        elif kind == "fault.crash":
+            if current is not None and event.node == current["leader"]:
+                close_current(event.t)
+
+    if events:
+        close_current(events[-1].t)
+    return spans
+
+
+def fault_events(events):
+    """The injected-fault subset, as (t, description) pairs."""
+    faults = []
+    for event in events:
+        if not event.kind.startswith("fault."):
+            continue
+        action = event.kind.split(".", 1)[1]
+        detail = ""
+        if event.fields.get("was_leader"):
+            detail = " (leader)"
+        elif event.fields.get("groups"):
+            detail = " %s" % (event.fields["groups"],)
+        target = "" if event.node is None else " peer %s" % event.node
+        faults.append((event.t, "%s%s%s" % (action, target, detail)))
+    return faults
+
+
+def summarize(events):
+    """Full trace digest: spans, faults, and per-kind event counts."""
+    counts = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return {
+        "spans": phase_spans(events),
+        "faults": fault_events(events),
+        "counts": counts,
+    }
+
+
+def render_summary(summary):
+    """Human-readable digest of :func:`summarize` output."""
+    # Imported here: repro.bench pulls in the harness, which imports
+    # repro.obs — a module-level import would be circular.
+    from repro.bench.formats import render_table
+
+    lines = []
+    if summary["faults"]:
+        lines.append("injected faults:")
+        for t, description in summary["faults"]:
+            lines.append("  t=%8.3f  %s" % (t, description))
+        lines.append("")
+    spans = summary["spans"]
+    if spans:
+        rows = []
+        for span in spans:
+            rows.append((
+                span["epoch"],
+                span["leader"],
+                _seconds(span["election_s"]),
+                _seconds(span["sync_s"]),
+                ", ".join(
+                    "%s:%d" % (mode, count)
+                    for mode, count in sorted(span["sync_modes"].items())
+                ) or "-",
+                _seconds(
+                    span["first_commit_at"] - span["established_at"]
+                    if span["first_commit_at"] is not None
+                    else None
+                ),
+                span["commits"],
+            ))
+        lines.append(render_table(
+            ["epoch", "leader", "election (s)", "sync (s)", "sync modes",
+             "first commit (s)", "commits"],
+            rows,
+            title="phase spans (election -> sync -> broadcast)",
+        ))
+    else:
+        lines.append("no established epochs in trace")
+    lines.append("")
+    lines.append("events by kind:")
+    for kind, count in sorted(summary["counts"].items()):
+        lines.append("  %-24s %d" % (kind, count))
+    return "\n".join(lines)
+
+
+def _seconds(value):
+    return "-" if value is None else "%.4f" % value

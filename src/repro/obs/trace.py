@@ -1,0 +1,225 @@
+"""Structured, virtual-time-stamped event tracing.
+
+A :class:`Tracer` collects :class:`TraceEvent` records — ``(t, node,
+kind, fields)`` — from every instrumented layer (kernel, network,
+protocol roles, fault injection).  Event *kinds* are dotted strings
+(``"net.send"``, ``"election.decided"``, ``"fault.crash"``); the full
+catalogue lives in ``docs/OBSERVABILITY.md``.
+
+Two properties matter for a tracing layer that sits on hot paths:
+
+- **Zero-overhead off switch.**  Components default to the shared
+  :data:`NULL_TRACER`, whose :meth:`~NullTracer.emit` is a no-op and
+  whose ``active`` attribute is ``False`` so the hottest call sites
+  (per-message, per-commit) can skip even building the event's fields::
+
+      if tracer.active:
+          tracer.emit("net.send", node=src, dst=dst, size=size)
+
+- **Per-kind filtering.**  A live tracer can enable or disable
+  individual kinds (or kind prefixes such as ``"net."``), so a long
+  soak can keep rare protocol transitions without drowning in
+  per-message traffic.
+
+Traces serialise to JSON Lines — one event object per line — via
+:func:`dump_jsonl` / :func:`load_jsonl` and round-trip losslessly.
+"""
+
+import io
+import json
+
+
+class TraceEvent:
+    """One timestamped occurrence: ``(t, node, kind, fields)``.
+
+    ``t`` is virtual time in seconds, ``node`` the peer id (or ``None``
+    for cluster-level events), ``kind`` the dotted event type, and
+    ``fields`` a flat JSON-safe dict of kind-specific detail.
+    """
+
+    __slots__ = ("t", "node", "kind", "fields")
+
+    def __init__(self, t, node, kind, fields):
+        self.t = t
+        self.node = node
+        self.kind = kind
+        self.fields = fields
+
+    def to_dict(self):
+        return {
+            "t": self.t,
+            "node": self.node,
+            "kind": self.kind,
+            "fields": self.fields,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["t"], data["node"], data["kind"],
+                   data.get("fields", {}))
+
+    def __eq__(self, other):
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self):
+        return "<TraceEvent t=%.6f node=%r %s %r>" % (
+            self.t, self.node, self.kind, self.fields
+        )
+
+
+class Tracer:
+    """Collects structured events stamped with virtual time.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current virtual time.
+        Usually bound later with :meth:`bind` once the simulator
+        exists (the harness does this automatically).
+    kinds:
+        Optional iterable restricting recording to these kinds (exact
+        names or ``"prefix."`` patterns).  ``None`` records everything.
+    """
+
+    active = True
+
+    def __init__(self, clock=None, kinds=None):
+        self._clock = clock or (lambda: 0.0)
+        self.events = []
+        self._only = None if kinds is None else set(kinds)
+        self._disabled = set()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def bind(self, sim):
+        """Stamp subsequent events with *sim*'s virtual clock."""
+        self._clock = lambda: sim.now
+        return self
+
+    # ------------------------------------------------------------------
+    # Per-kind filtering
+    # ------------------------------------------------------------------
+
+    def enable(self, *kinds):
+        """Re-enable *kinds* (exact names or ``"prefix."`` patterns)."""
+        for kind in kinds:
+            self._disabled.discard(kind)
+            if self._only is not None:
+                self._only.add(kind)
+        return self
+
+    def disable(self, *kinds):
+        """Stop recording *kinds* (exact names or ``"prefix."``)."""
+        self._disabled.update(kinds)
+        return self
+
+    def enabled(self, kind):
+        """True if events of *kind* are currently recorded."""
+        if self._disabled and _matches(kind, self._disabled):
+            return False
+        if self._only is not None:
+            return _matches(kind, self._only)
+        return True
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def emit(self, kind, node=None, **fields):
+        """Record one event of *kind* (dropped if the kind is disabled)."""
+        if self._disabled and _matches(kind, self._disabled):
+            return
+        if self._only is not None and not _matches(kind, self._only):
+            return
+        self.events.append(TraceEvent(self._clock(), node, kind, fields))
+
+    def clear(self):
+        """Forget all recorded events."""
+        self.events = []
+
+    def __len__(self):
+        return len(self.events)
+
+    def by_kind(self, kind):
+        """All recorded events of exactly *kind*, in time order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def kinds(self):
+        """Set of kinds seen so far."""
+        return {event.kind for event in self.events}
+
+
+class NullTracer(Tracer):
+    """The do-nothing tracer every component holds by default.
+
+    ``active`` is ``False`` so hot paths can skip field construction
+    entirely; :meth:`emit` discards its arguments either way.
+    """
+
+    active = False
+
+    def __init__(self):
+        Tracer.__init__(self)
+
+    def bind(self, sim):
+        return self
+
+    def emit(self, kind, node=None, **fields):
+        pass
+
+    def enabled(self, kind):
+        return False
+
+
+#: Shared no-op tracer: safe to use as a default everywhere.
+NULL_TRACER = NullTracer()
+
+
+def _matches(kind, patterns):
+    """True if *kind* matches any pattern (exact, or ``"net."`` prefix)."""
+    if kind in patterns:
+        return True
+    for pattern in patterns:
+        if pattern.endswith(".") and kind.startswith(pattern):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# JSONL export / import
+# ---------------------------------------------------------------------------
+
+def dump_jsonl(events, destination):
+    """Write *events* (TraceEvents or a Tracer) as JSON Lines.
+
+    *destination* is a path or a writable text file object.  Returns
+    the number of lines written.
+    """
+    if isinstance(events, Tracer):
+        events = events.events
+    if isinstance(destination, (str, bytes)):
+        with io.open(destination, "w", encoding="utf-8") as handle:
+            return dump_jsonl(events, handle)
+    count = 0
+    for event in events:
+        destination.write(json.dumps(event.to_dict(), sort_keys=True))
+        destination.write("\n")
+        count += 1
+    return count
+
+
+def load_jsonl(source):
+    """Read a JSONL trace (path or text file object) back into events."""
+    if isinstance(source, (str, bytes)):
+        with io.open(source, "r", encoding="utf-8") as handle:
+            return load_jsonl(handle)
+    events = []
+    for line in source:
+        line = line.strip()
+        if line:
+            events.append(TraceEvent.from_dict(json.loads(line)))
+    return events

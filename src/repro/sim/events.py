@@ -13,7 +13,7 @@ class Event:
     events stay in the heap but are skipped when popped.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "on_cancel")
 
     def __init__(self, time, seq, fn, args=()):
         self.time = time
@@ -21,12 +21,19 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.on_cancel = None  # kernel hook: keeps its live count exact
 
     def cancel(self):
         """Prevent the event from firing; safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self.fn = None
         self.args = ()
+        hook = self.on_cancel
+        self.on_cancel = None
+        if hook is not None:
+            hook()
 
     def fire(self):
         """Invoke the callback unless the event was cancelled."""

@@ -25,6 +25,7 @@ class Simulator:
         self._seq = 0
         self._now = 0.0
         self._events_fired = 0
+        self._live = 0           # not-yet-cancelled events in the queue
         self.random = SplitRandom(seed)
 
     @property
@@ -50,13 +51,24 @@ class Simulator:
                 "cannot schedule in the past: %r < now=%r" % (time, self._now)
             )
         event = Event(time, self._seq, fn, args)
+        event.on_cancel = self._note_cancelled
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._queue, event)
         return event
 
+    def _note_cancelled(self):
+        self._live -= 1
+
     def pending(self):
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events in the queue (O(1)).
+
+        Maintained incrementally: schedule_at counts up, and every
+        cancellation — explicit or the self-cancel inside
+        :meth:`~repro.sim.events.Event.fire` — counts down through the
+        event's ``on_cancel`` hook, so no heap scan is ever needed.
+        """
+        return self._live
 
     def run(self, until=None, max_events=None):
         """Process events in order.
@@ -90,3 +102,15 @@ class Simulator:
     def run_for(self, duration):
         """Advance virtual time by *duration* seconds, processing events."""
         return self.run(until=self._now + duration)
+
+    def attach_metrics(self, registry):
+        """Expose kernel health to a metrics registry.
+
+        Registers callback gauges (read lazily at snapshot time, so the
+        event loop's hot path is untouched): ``sim.queue_depth``,
+        ``sim.events_fired``, and ``sim.now``.
+        """
+        registry.gauge("sim.queue_depth", fn=self.pending)
+        registry.gauge("sim.events_fired", fn=lambda: self.events_fired)
+        registry.gauge("sim.now", fn=lambda: self.now)
+        return self

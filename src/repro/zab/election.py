@@ -46,6 +46,10 @@ class FastLeaderElection:
         self.stop()
         self.round += 1
         epoch, zxid = self.peer.vote_basis()
+        self.peer.tracer.emit(
+            "election.start", node=self.peer.peer_id,
+            round=self.round, epoch=epoch, zxid=zxid.as_tuple(),
+        )
         self.vote = _vote_key(epoch, zxid, self.peer.peer_id)
         self.recvset = {self.peer.peer_id: self.vote}
         self.outofelection = {}
@@ -220,5 +224,9 @@ class FastLeaderElection:
 
     def _decide(self, leader):
         self.elected_vote = self.vote
+        self.peer.tracer.emit(
+            "election.decided", node=self.peer.peer_id,
+            leader=leader, round=self.round,
+        )
         self.stop()
         self.peer.on_election_decided(leader)

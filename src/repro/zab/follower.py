@@ -183,6 +183,10 @@ class FollowerContext:
 
     def _on_sync_start(self, msg):
         self.phase = PHASE_SYNC
+        self.peer.tracer.emit(
+            "follower.sync", node=self.peer.peer_id,
+            leader=self.leader_id, mode=msg.mode,
+        )
         self._sync_records = []
         self._pending_snapshot = None
         if msg.mode == messages.SYNC_TRUNC:
@@ -215,6 +219,9 @@ class FollowerContext:
             self.peer.go_looking("sync stream incomplete")
             return
         epochs.set_current_epoch(msg.epoch)
+        self.peer.tracer.emit(
+            "peer.epoch", node=self.peer.peer_id, epoch=msg.epoch,
+        )
         self.epoch = msg.epoch
         self._saw_newleader = True
         self.peer.send(
@@ -229,6 +236,11 @@ class FollowerContext:
             self._handshake_timer = None
         self.phase = PHASE_BROADCAST
         self.active = True
+        self.peer.tracer.emit(
+            "follower.active", node=self.peer.peer_id,
+            leader=self.leader_id, epoch=self.epoch,
+            horizon=self.horizon.as_tuple(),
+        )
         # The initial history (everything up to the sync horizon) is
         # committed; proposals logged after it wait for COMMITs.
         self.peer.rebuild_state(upto=self.horizon)

@@ -94,6 +94,7 @@ class LeaderContext:
         self._ping_timer = None
         self._snapshot_cache = None
         self.commits = 0
+        self.acks_received = 0     # proposal ACKs counted (all voters)
         self.sync_modes = {}       # sync mode -> count of learners served
         self._sync_waiters = []    # (barrier_zxid, peer_id, cookie)
 
@@ -102,6 +103,9 @@ class LeaderContext:
     # ------------------------------------------------------------------
 
     def start(self):
+        self.peer.tracer.emit(
+            "leader.phase", node=self.peer.peer_id, phase=self.phase,
+        )
         self._handshake_timer = self.peer.set_timer(
             self.config.handshake_timeout(), self._handshake_expired
         )
@@ -185,6 +189,9 @@ class LeaderContext:
         if not self.config.quorum.contains_quorum(voters):
             return
         self.epoch = max(self.followerinfos.values()) + 1
+        self.peer.tracer.emit(
+            "leader.newepoch", node=self.peer.peer_id, epoch=self.epoch,
+        )
         self.peer.storage.epochs.set_accepted_epoch(self.epoch)
         for handle in self.handles.values():
             self._send_new_epoch(handle)
@@ -240,8 +247,15 @@ class LeaderContext:
 
     def _enter_sync(self):
         self.phase = PHASE_SYNC
+        self.peer.tracer.emit(
+            "leader.phase", node=self.peer.peer_id, phase=self.phase,
+            epoch=self.epoch,
+        )
         # Self-ack of NEWLEADER: persist currentEpoch = e'.
         self.peer.storage.epochs.set_current_epoch(self.epoch)
+        self.peer.tracer.emit(
+            "peer.epoch", node=self.peer.peer_id, epoch=self.epoch,
+        )
         self.acked_newleader = {self.peer.peer_id}
         for handle in self.handles.values():
             if handle.ackepoch is not None:
@@ -273,6 +287,11 @@ class LeaderContext:
             self._snapshot_provider,
         )
         self.sync_modes[plan.mode] = self.sync_modes.get(plan.mode, 0) + 1
+        self.peer.tracer.emit(
+            "leader.sync", node=self.peer.peer_id,
+            follower=handle.peer_id, mode=plan.mode,
+            records=len(plan.records), bytes=plan.payload_bytes(),
+        )
         dst = handle.peer_id
         self.peer.send(
             dst,
@@ -323,6 +342,14 @@ class LeaderContext:
     def _establish(self):
         self.established = True
         self.phase = PHASE_BROADCAST
+        self.peer.tracer.emit(
+            "leader.established", node=self.peer.peer_id, epoch=self.epoch,
+            synced=sorted(self.acked_newleader),
+        )
+        self.peer.tracer.emit(
+            "leader.phase", node=self.peer.peer_id, phase=self.phase,
+            epoch=self.epoch,
+        )
         if self._handshake_timer is not None:
             self.peer.cancel_timer(self._handshake_timer)
             self._handshake_timer = None
@@ -372,6 +399,12 @@ class LeaderContext:
             self.peer.trace.record_broadcast(
                 self.peer.peer_id, self.epoch, zxid, txn.txn_id
             )
+        tracer = self.peer.tracer
+        if tracer.active:
+            tracer.emit(
+                "leader.propose", node=self.peer.peer_id,
+                zxid=zxid.as_tuple(), size=request.size,
+            )
         proposal = _Proposal(txn, request.size, self.peer.sim.now)
         self.proposals[zxid] = proposal
         message = messages.Propose(zxid, txn, request.size)
@@ -390,6 +423,7 @@ class LeaderContext:
         handle = self.handles.get(src)
         if handle is not None:
             handle.last_ack = self.peer.sim.now
+        self.acks_received += 1
         proposal.acks.add(src)
         self._try_commit()
 

@@ -10,6 +10,7 @@ survives and the peer rejoins via election on recovery.
 
 from repro.app.watches import WatchManager
 from repro.common.errors import NotLeaderError
+from repro.obs.trace import NULL_TRACER
 from repro.sim.process import Process
 from repro.storage import EpochStore, Snapshot, SnapshotStore, TxnLog
 from repro.zab import messages
@@ -81,10 +82,14 @@ class ZabPeer(Process):
     trace:
         Optional :class:`~repro.checker.trace.Trace` recording broadcast
         and delivery events for property checking.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` receiving structured
+        observability events (state transitions, commits, sync choices);
+        defaults to the no-op tracer.
     """
 
     def __init__(self, sim, network, peer_id, config, app_factory,
-                 storage=None, trace=None):
+                 storage=None, trace=None, tracer=None):
         Process.__init__(self, sim, "peer-%d" % peer_id)
         self.network = network
         self.peer_id = peer_id
@@ -92,6 +97,7 @@ class ZabPeer(Process):
         self.app_factory = app_factory
         self.storage = storage or PeerStorage()
         self.trace = trace
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.is_observer = peer_id in config.observers
         self.rng = sim.random.stream("peer-%d" % peer_id)
         self.election = FastLeaderElection(self)
@@ -154,6 +160,7 @@ class ZabPeer(Process):
     def _set_state(self, state):
         self.state = state
         self.role_changes.append((self.sim.now, state))
+        self.tracer.emit("peer.state", node=self.peer_id, state=state)
 
     def _close_ctx(self):
         if self.ctx is not None:
@@ -180,6 +187,7 @@ class ZabPeer(Process):
         self.leader_id = None
         self.sm = None
         self.last_looking_reason = reason
+        self.tracer.emit("peer.looking", node=self.peer_id, reason=reason)
         if self.is_observer:
             self._enter_observing()
             return
@@ -373,6 +381,12 @@ class ZabPeer(Process):
         self.position += 1
         self.delivered_count += 1
         self.last_committed = zxid
+        tracer = self.tracer
+        if tracer.active:
+            tracer.emit(
+                "peer.commit", node=self.peer_id,
+                zxid=zxid.as_tuple(), txn=txn.txn_id,
+            )
         if self.trace is not None:
             self.trace.record_delivery(
                 self.peer_id, self.incarnation, self.position, zxid,
@@ -569,6 +583,8 @@ class ZabPeer(Process):
         }
         if self.state == messages.LEADING and self.ctx is not None:
             data["commits"] = self.ctx.commits
+            data["proposals"] = self.ctx.counter
+            data["acks_received"] = self.ctx.acks_received
             data["outstanding"] = len(self.ctx.proposals)
             data["sync_modes"] = dict(self.ctx.sync_modes)
         return data

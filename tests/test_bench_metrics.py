@@ -1,7 +1,5 @@
 """Unit and property tests for the benchmark measurement primitives."""
 
-import math
-
 import pytest
 from hypothesis import given, strategies as st
 
@@ -72,8 +70,14 @@ def test_recorder_discards_warmup():
 
 
 def test_recorder_empty_summary():
-    assert LatencyRecorder().summary() == {"count": 0}
-    assert math.isnan(LatencyRecorder().mean())
+    assert LatencyRecorder().summary() == {"count": 0, "empty": True}
+
+
+def test_recorder_empty_stats_raise():
+    with pytest.raises(ValueError):
+        LatencyRecorder().mean()
+    with pytest.raises(ValueError):
+        LatencyRecorder().pct(0.5)
 
 
 # --- Timeline ---------------------------------------------------------------

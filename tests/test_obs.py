@@ -1,0 +1,288 @@
+"""Unit tests for the observability subsystem (repro.obs)."""
+
+import io
+import random
+
+import pytest
+
+from repro.bench.metrics import percentile
+from repro.obs import (
+    NULL_TRACER,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+    TraceEvent,
+    Tracer,
+    dump_jsonl,
+    load_jsonl,
+    phase_spans,
+    summarize,
+)
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+def test_tracer_records_in_virtual_time_order():
+    sim = Simulator()
+    tracer = Tracer().bind(sim)
+    sim.schedule(0.5, tracer.emit, "b.second", 2)
+    sim.schedule(0.1, tracer.emit, "a.first", 1)
+    sim.schedule(0.9, tracer.emit, "c.third", 3)
+    sim.run()
+    assert [e.kind for e in tracer.events] == [
+        "a.first", "b.second", "c.third"
+    ]
+    assert [e.t for e in tracer.events] == [0.1, 0.5, 0.9]
+    assert [e.node for e in tracer.events] == [1, 2, 3]
+
+
+def test_tracer_emit_captures_fields():
+    tracer = Tracer()
+    tracer.emit("leader.sync", node=3, follower=1, mode="DIFF")
+    event = tracer.events[0]
+    assert event.kind == "leader.sync"
+    assert event.node == 3
+    assert event.fields == {"follower": 1, "mode": "DIFF"}
+
+
+def test_tracer_disable_exact_and_prefix():
+    tracer = Tracer()
+    tracer.disable("net.", "peer.commit")
+    tracer.emit("net.send", node=1)
+    tracer.emit("net.deliver", node=2)
+    tracer.emit("peer.commit", node=1)
+    tracer.emit("peer.state", node=1, state="leading")
+    assert tracer.kinds() == {"peer.state"}
+    assert not tracer.enabled("net.send")
+    assert tracer.enabled("peer.state")
+    tracer.enable("peer.commit")
+    tracer.emit("peer.commit", node=1)
+    assert len(tracer.by_kind("peer.commit")) == 1
+
+
+def test_tracer_kinds_whitelist():
+    tracer = Tracer(kinds={"election."})
+    tracer.emit("election.start", node=1, round=1)
+    tracer.emit("peer.commit", node=1)
+    assert tracer.kinds() == {"election.start"}
+
+
+def test_null_tracer_is_inert_and_inactive():
+    before = len(NULL_TRACER.events)
+    NULL_TRACER.emit("peer.commit", node=1, zxid=(1, 1))
+    assert len(NULL_TRACER.events) == before == 0
+    assert NULL_TRACER.active is False
+    assert Tracer.active is True
+    assert NULL_TRACER.enabled("anything") is False
+    # bind() must not capture a simulator (it is shared globally).
+    assert NULL_TRACER.bind(Simulator()) is NULL_TRACER
+
+
+def test_tracer_off_means_zero_events_from_a_real_run():
+    # A cluster built without a tracer must leave the shared no-op
+    # tracer untouched — the zero-overhead path.
+    from repro.harness import Cluster
+
+    cluster = Cluster(3, seed=0).start()
+    cluster.run_until_stable(timeout=30.0)
+    cluster.submit_and_wait(("put", "k", "v"))
+    assert len(NULL_TRACER.events) == 0
+
+
+# ---------------------------------------------------------------------------
+# Counters / gauges / histograms
+# ---------------------------------------------------------------------------
+
+def test_counter_monotonic():
+    counter = Counter()
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_set_and_callback():
+    gauge = Gauge()
+    gauge.set(7)
+    assert gauge.get() == 7
+    lazy = Gauge(fn=lambda: 42)
+    assert lazy.get() == 42
+    with pytest.raises(ValueError):
+        lazy.set(1)
+
+
+def test_histogram_empty_raises():
+    histogram = StreamingHistogram()
+    with pytest.raises(ValueError):
+        histogram.mean()
+    with pytest.raises(ValueError):
+        histogram.quantile(0.5)
+    assert histogram.snapshot() == {"count": 0}
+
+
+def test_histogram_quantiles_match_exact_percentile():
+    rng = random.Random(42)
+    samples = [rng.lognormvariate(-5.0, 1.0) for _ in range(5000)]
+    histogram = StreamingHistogram()
+    for value in samples:
+        histogram.observe(value)
+    for fraction in (0.50, 0.95, 0.99):
+        exact = percentile(samples, fraction)
+        sketch = histogram.quantile(fraction)
+        assert abs(sketch - exact) / exact < 0.05, (
+            "p%d: sketch %.6g vs exact %.6g" % (
+                int(fraction * 100), sketch, exact
+            )
+        )
+    assert abs(histogram.mean() - sum(samples) / len(samples)) < 1e-9
+
+
+def test_histogram_estimates_stay_within_observed_range():
+    histogram = StreamingHistogram()
+    for value in (0.010, 0.011, 0.012):
+        histogram.observe(value)
+    assert 0.010 <= histogram.quantile(0.0) <= 0.012
+    assert 0.010 <= histogram.quantile(1.0) <= 0.012
+    snap = histogram.snapshot()
+    assert snap["min"] == 0.010
+    assert snap["max"] == 0.012
+    assert snap["count"] == 3
+
+
+def test_histogram_floor_bucket():
+    histogram = StreamingHistogram(floor=1e-3)
+    histogram.observe(0.0)       # clamped into bucket zero
+    histogram.observe(1e-4)
+    assert histogram.count == 2
+    assert histogram.quantile(0.5) <= 1e-3
+
+
+def test_registry_get_or_create_and_snapshot():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    registry.counter("a").inc(3)
+    registry.gauge("depth", fn=lambda: 17)
+    registry.histogram("lat").observe(0.01)
+    registry.register_provider("net", lambda: {"dropped": 2})
+    snap = registry.snapshot()
+    assert snap["counters"] == {"a": 3}
+    assert snap["gauges"] == {"depth": 17}
+    assert snap["histograms"]["lat"]["count"] == 1
+    assert snap["net"] == {"dropped": 2}
+
+
+def test_simulator_attach_metrics_gauges():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    sim.attach_metrics(registry)
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert registry.snapshot()["gauges"]["sim.queue_depth"] == 2
+    sim.run()
+    snap = registry.snapshot()["gauges"]
+    assert snap["sim.queue_depth"] == 0
+    assert snap["sim.events_fired"] == 2
+    assert snap["sim.now"] == 2.0
+
+
+# ---------------------------------------------------------------------------
+# JSONL round-trip
+# ---------------------------------------------------------------------------
+
+def _sample_events():
+    tracer = Tracer()
+    tracer.emit("election.start", node=1, round=1, zxid=[0, 0])
+    tracer.emit("leader.sync", node=2, follower=1, mode="DIFF", records=3)
+    tracer.emit("fault.heal")   # node=None, no fields
+    return tracer
+
+
+def test_jsonl_round_trip_via_file(tmp_path):
+    tracer = _sample_events()
+    path = str(tmp_path / "trace.jsonl")
+    assert dump_jsonl(tracer, path) == 3
+    loaded = load_jsonl(path)
+    assert loaded == tracer.events
+
+
+def test_jsonl_round_trip_via_stream():
+    tracer = _sample_events()
+    buffer = io.StringIO()
+    dump_jsonl(tracer.events, buffer)
+    loaded = load_jsonl(io.StringIO(buffer.getvalue()))
+    assert loaded == tracer.events
+    assert loaded[2].node is None
+    assert loaded[2].fields == {}
+
+
+def test_jsonl_lines_are_valid_json_objects():
+    import json
+
+    buffer = io.StringIO()
+    dump_jsonl(_sample_events(), buffer)
+    for line in buffer.getvalue().splitlines():
+        record = json.loads(line)
+        assert set(record) == {"t", "node", "kind", "fields"}
+
+
+# ---------------------------------------------------------------------------
+# Timeline reconstruction
+# ---------------------------------------------------------------------------
+
+def _synthetic_timeline():
+    """Epoch 1 establishes, leader crashes, epoch 2 takes over."""
+    raw = [
+        (0.00, 1, "election.start", {"round": 1}),
+        (0.20, 1, "election.decided", {"leader": 3, "round": 1}),
+        (0.25, 3, "leader.sync", {"follower": 1, "mode": "DIFF"}),
+        (0.25, 3, "leader.sync", {"follower": 2, "mode": "SNAP"}),
+        (0.30, 3, "leader.established", {"epoch": 1}),
+        (0.40, 3, "peer.commit", {"zxid": [1, 1]}),
+        (0.50, 3, "peer.commit", {"zxid": [1, 2]}),
+        (2.00, 3, "fault.crash", {"was_leader": True}),
+        (2.10, 1, "election.start", {"round": 2}),
+        (2.40, 1, "election.decided", {"leader": 2, "round": 2}),
+        (2.45, 2, "leader.sync", {"follower": 1, "mode": "DIFF"}),
+        (2.50, 2, "leader.established", {"epoch": 2}),
+        (2.60, 2, "peer.commit", {"zxid": [2, 1]}),
+    ]
+    return [TraceEvent(t, node, kind, fields)
+            for t, node, kind, fields in raw]
+
+
+def test_phase_spans_reconstruction():
+    spans = phase_spans(_synthetic_timeline())
+    assert len(spans) == 2
+    first, second = spans
+
+    assert first["epoch"] == 1
+    assert first["leader"] == 3
+    assert first["election_start"] == 0.00
+    assert first["decided_at"] == 0.20
+    assert first["established_at"] == 0.30
+    assert first["end"] == 2.00          # closed by the leader crash
+    assert first["commits"] == 2
+    assert first["first_commit_at"] == 0.40
+    assert first["sync_modes"] == {"DIFF": 1, "SNAP": 1}
+    assert first["election_s"] == pytest.approx(0.20)
+    assert first["sync_s"] == pytest.approx(0.10)
+
+    assert second["epoch"] == 2
+    assert second["leader"] == 2
+    assert second["commits"] == 1
+    assert second["election_start"] == 2.10
+
+
+def test_summarize_counts_and_faults():
+    summary = summarize(_synthetic_timeline())
+    assert len(summary["spans"]) == 2
+    assert summary["counts"]["peer.commit"] == 3
+    assert len(summary["faults"]) == 1
+    t, description = summary["faults"][0]
+    assert t == 2.00
+    assert "crash" in description
