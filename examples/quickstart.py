@@ -9,7 +9,7 @@ Everything happens in simulated time, deterministically (same seed, same
 run), so the output below is reproducible bit for bit.
 """
 
-from repro.harness import Cluster
+from repro import Cluster
 
 
 def main():

@@ -3,15 +3,48 @@ systems" (Junqueira, Reed, Serafini -- DSN 2011).
 
 Quick start::
 
-    from repro.harness import Cluster
+    from repro import Cluster
 
     cluster = Cluster(n_voters=3, seed=1).start()
     cluster.run_until_stable()
     result, zxid = cluster.submit_and_wait(("put", "greeting", "hello"))
     cluster.assert_properties()
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every reproduced table and figure.
+This module re-exports the *supported* surface — the names in
+``__all__`` below are covered by ``scripts/check_public_api.py`` and
+change only with a reviewed snapshot update.  Everything else under
+``repro.*`` is internal and may move between releases.
+
+See DESIGN.md for the system inventory, docs/API.md for the reference,
+and EXPERIMENTS.md for the paper-vs-measured record of every reproduced
+table and figure.
 """
 
-__version__ = "1.0.0"
+from repro.bench.runner import run_broadcast_bench
+from repro.checker import Trace, check_all
+from repro.client import Client
+from repro.harness import (
+    ActionSchedule,
+    Cluster,
+    FaultSchedule,
+    replay_schedule,
+    shrink_schedule,
+)
+from repro.obs import MetricsRegistry, Tracer
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "Cluster",
+    "Client",
+    "FaultSchedule",
+    "ActionSchedule",
+    "replay_schedule",
+    "shrink_schedule",
+    "run_broadcast_bench",
+    "check_all",
+    "Trace",
+    "Tracer",
+    "MetricsRegistry",
+    "__version__",
+]

@@ -1,27 +1,33 @@
 """Verification campaigns: many seeded adversarial runs, one verdict.
 
-A campaign is the poor man's model checker: for each seed it boots a
-cluster, drives client load while a seeded adversary injects crashes,
-recoveries, and partitions, then quiesces and checks the six PO
-broadcast properties plus replica-state convergence.  A failing seed is
-a reproducible protocol bug; the campaign report names it.
+A campaign is the poor man's model checker: for each seed it *generates*
+a declarative :class:`~repro.harness.schedule.ActionSchedule` from the
+seed, *replays* it against a fresh cluster under client load, then
+quiesces and checks the six PO broadcast properties plus replica-state
+convergence.  Because generation and execution are decoupled, a failing
+seed is more than a verdict: its schedule is attached to the outcome,
+serializable to JSON, replayable bit for bit, and shrinkable to a
+minimal repro with ``python -m repro shrink``.
 
 Used by ``python -m repro campaign`` and by the long-running integration
 tests.
 """
 
 from repro.bench.formats import render_table
-from repro.harness import Cluster
+from repro.harness.replay import replay_schedule
+from repro.harness.schedule import ActionSchedule
 
 
 class RunOutcome:
     """Result of one seeded adversarial run."""
 
     __slots__ = ("seed", "ok", "violations", "converged", "epochs",
-                 "deliveries", "actions", "error")
+                 "deliveries", "actions", "error", "schedule",
+                 "signature")
 
     def __init__(self, seed, ok, violations, converged, epochs,
-                 deliveries, actions, error=None):
+                 deliveries, actions, error=None, schedule=None,
+                 signature=()):
         self.seed = seed
         self.ok = ok
         self.violations = violations
@@ -30,6 +36,8 @@ class RunOutcome:
         self.deliveries = deliveries
         self.actions = actions
         self.error = error
+        self.schedule = schedule
+        self.signature = signature
 
     @property
     def passed(self):
@@ -37,82 +45,39 @@ class RunOutcome:
 
 
 def run_adversarial_campaign(seeds, n_voters=3, steps=10,
-                             step_interval=0.5, op_interval=0.02):
+                             step_interval=0.5, op_interval=0.02,
+                             leader_factory=None):
     """Run one adversarial scenario per seed; returns [RunOutcome]."""
     outcomes = []
     for seed in seeds:
         outcomes.append(
-            _one_run(seed, n_voters, steps, step_interval, op_interval)
+            _one_run(seed, n_voters, steps, step_interval, op_interval,
+                     leader_factory)
         )
     return outcomes
 
 
-def _one_run(seed, n_voters, steps, step_interval, op_interval):
-    cluster = Cluster(n_voters, seed=seed).start()
-    try:
-        cluster.run_until_stable(timeout=60)
-    except TimeoutError as exc:
-        return RunOutcome(seed, False, [], False, [], 0, [],
-                          error="never stable: %s" % exc)
-    rng = cluster.sim.random.stream("campaign-adversary")
-    actions = []
-    max_down = (n_voters - 1) // 2
-
-    def load_tick():
-        leader = cluster.leader()
-        if leader is not None:
-            try:
-                leader.propose_op(("incr", "campaign", 1))
-            except Exception:
-                pass
-        cluster.sim.schedule(op_interval, load_tick)
-
-    load_tick()
-    for _step in range(steps):
-        cluster.run(step_interval)
-        crashed = [p for p, peer in cluster.peers.items() if peer.crashed]
-        live = [p for p, peer in cluster.peers.items() if not peer.crashed]
-        roll = rng.random()
-        if crashed and (roll < 0.4 or len(crashed) >= max_down):
-            victim = rng.choice(crashed)
-            actions.append(("recover", victim))
-            cluster.recover(victim)
-        elif roll < 0.8:
-            victim = rng.choice(live)
-            actions.append(("crash", victim))
-            cluster.crash(victim)
-        elif roll < 0.9 and len(live) > 2:
-            victim = rng.choice(live)
-            actions.append(("isolate", victim))
-            cluster.partition({victim})
-        else:
-            actions.append(("heal", None))
-            cluster.heal()
-
-    cluster.heal()
-    for peer_id, peer in cluster.peers.items():
-        if peer.crashed:
-            cluster.recover(peer_id)
-    try:
-        cluster.run_until_stable(timeout=60)
-    except TimeoutError as exc:
-        return RunOutcome(seed, False, [], False, [], 0, actions,
-                          error="never re-stabilised: %s" % exc)
-    cluster.run(2.0)
-
-    report = cluster.check_properties()
-    states = {
-        tuple(sorted(state.items()))
-        for state in cluster.states().values()
-    }
+def _one_run(seed, n_voters, steps, step_interval, op_interval,
+             leader_factory=None):
+    schedule = ActionSchedule.generate(
+        seed, n_voters=n_voters, steps=steps,
+        step_interval=step_interval, op_interval=op_interval,
+    )
+    result = replay_schedule(
+        schedule, n_voters=n_voters, seed=seed, op_interval=op_interval,
+        leader_factory=leader_factory,
+    )
     return RunOutcome(
         seed=seed,
-        ok=report.ok,
-        violations=sorted(report.violated_properties()),
-        converged=len(states) == 1,
-        epochs=report.stats["epochs"],
-        deliveries=report.stats["deliveries"],
-        actions=actions,
+        ok=result.ok,
+        violations=result.violations,
+        converged=result.converged,
+        epochs=result.epochs,
+        deliveries=result.deliveries,
+        actions=schedule.legacy_pairs(),
+        error=result.error,
+        schedule=schedule,
+        signature=result.signature,
     )
 
 
@@ -262,4 +227,14 @@ def render_campaign(outcomes):
         % (len(failed), len(outcomes),
            [outcome.seed for outcome in failed])
     )
-    return table + "\n" + verdict
+    lines = [table, verdict]
+    for outcome in failed:
+        if outcome.schedule is None:
+            continue
+        lines.append("")
+        lines.append(
+            "seed %d schedule (replay with `repro shrink --seed %d`):"
+            % (outcome.seed, outcome.seed)
+        )
+        lines.append(outcome.schedule.dumps())
+    return "\n".join(lines)

@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     python -m repro bench --servers 5      # one custom throughput run
     python -m repro trace -o trace.jsonl   # traced crash/recovery timeline
     python -m repro fuzz --seed 7          # random fault injection + check
+    python -m repro shrink --seed 7        # replay + ddmin-minimize a failure
     python -m repro info                   # inventory
 
 The CLI is a thin veneer over :mod:`repro.bench.experiments` and
@@ -183,6 +184,128 @@ def cmd_fuzz(args):
     return 0 if report.ok else 1
 
 
+_REPRO_TEST_TEMPLATE = '''\
+"""Minimized failure repro for adversary seed %(seed)d.
+
+Auto-generated by `repro shrink`; drop into tests/corpus/ to pin the
+bug.  Replays a %(n_actions)d-action schedule (shrunk from
+%(original_len)d) and asserts the property violation reproduces with an
+identical signature on every replay.
+"""
+
+from repro import ActionSchedule, replay_schedule
+%(factory_import)s
+SCHEDULE = ActionSchedule.loads(r\'\'\'
+%(schedule_json)s
+\'\'\')
+
+EXPECTED_SIGNATURE = %(signature)r
+
+
+def test_seed_%(seed)d_violation_reproduces():
+    first = replay_schedule(SCHEDULE%(factory_kwarg)s)
+    second = replay_schedule(SCHEDULE%(factory_kwarg)s)
+    assert not first.passed
+    assert first.signature == EXPECTED_SIGNATURE
+    assert second.signature == first.signature
+'''
+
+
+def cmd_shrink(args):
+    import os
+
+    from repro import obs
+    from repro.harness.replay import replay_schedule
+    from repro.harness.schedule import ActionSchedule
+    from repro.harness.shrink import make_reproducer, shrink_schedule
+
+    leader_factory = None
+    if args.buggy:
+        from repro.harness.buggy import BuggyLeaderContext
+
+        leader_factory = BuggyLeaderContext
+
+    if args.schedule:
+        schedule = ActionSchedule.load(args.schedule)
+        seed = schedule.meta.get("seed", args.seed)
+        print("loaded %d-action schedule from %s"
+              % (len(schedule), args.schedule))
+    else:
+        seed = args.seed
+        schedule = ActionSchedule.generate(
+            seed, n_voters=args.servers, steps=args.steps,
+            step_interval=args.step_interval,
+        )
+        print("generated %d-action schedule from seed %d"
+              % (len(schedule), seed))
+
+    replay_kwargs = {"leader_factory": leader_factory}
+    baseline = replay_schedule(schedule, **replay_kwargs)
+    if baseline.passed:
+        print("replay passed (%d deliveries); nothing to shrink"
+              % baseline.deliveries)
+        return 0
+    print("replay FAILED: %s"
+          % (baseline.error or ", ".join(baseline.violations)
+             or "diverged"))
+    if baseline.error is not None:
+        print("stabilisation errors are not shrinkable; bailing")
+        return 2
+
+    failing = make_reproducer(baseline, mode=args.mode, **replay_kwargs)
+    result = shrink_schedule(schedule, failing=failing)
+    print("shrunk %d -> %d actions in %d replays"
+          % (result.original_len, len(result.schedule), result.replays))
+    for action in result.schedule:
+        print("  t=%-6.2f %s %s"
+              % (action.time, action.kind,
+                 "" if action.target is None else action.target))
+
+    # Determinism check: the minimal schedule must reproduce the same
+    # violation signature (kind and zxid) on every replay.
+    tracer = obs.Tracer()
+    tracer.disable("net.")
+    first = replay_schedule(result.schedule, tracer=tracer,
+                            **replay_kwargs)
+    second = replay_schedule(result.schedule, **replay_kwargs)
+    if first.signature != second.signature or first.passed:
+        print("WARNING: minimal schedule did not replay deterministically")
+        return 2
+    print("minimal repro is deterministic: %d signature entries, e.g. %s"
+          % (len(first.signature), list(first.signature[:3])))
+
+    out_dir = args.out or ("repro-seed-%s" % seed)
+    os.makedirs(out_dir, exist_ok=True)
+    schedule.save(os.path.join(out_dir, "schedule.json"))
+    minimal_path = result.schedule.save(
+        os.path.join(out_dir, "schedule.min.json")
+    )
+    obs.dump_jsonl(tracer, os.path.join(out_dir, "trace.jsonl"))
+    test_path = os.path.join(out_dir, "test_seed_%s.py" % seed)
+    with open(test_path, "w", encoding="utf-8") as f:
+        f.write(_REPRO_TEST_TEMPLATE % {
+            "seed": seed,
+            "n_actions": len(result.schedule),
+            "original_len": result.original_len,
+            "schedule_json": result.schedule.dumps(indent=2),
+            "signature": first.signature,
+            "factory_import":
+                "from repro.harness.buggy import BuggyLeaderContext\n"
+                if args.buggy else "",
+            "factory_kwarg":
+                ", leader_factory=BuggyLeaderContext"
+                if args.buggy else "",
+        })
+    print("artifacts in %s/:" % out_dir)
+    print("  schedule.json       original failing schedule")
+    print("  schedule.min.json   minimal repro (replay: "
+          "repro shrink --schedule %s)" % minimal_path)
+    print("  trace.jsonl         obs trace of the minimal replay")
+    print("  %s      pytest snippet for tests/corpus/"
+          % os.path.basename(test_path))
+    return 1
+
+
 def cmd_campaign(args):
     from repro.bench.campaign import (
         render_campaign,
@@ -251,6 +374,30 @@ def build_parser():
     p_fuzz.add_argument("--seed", type=int, default=0)
     p_fuzz.add_argument("--steps", type=int, default=10)
     p_fuzz.set_defaults(fn=cmd_fuzz)
+
+    p_shrink = sub.add_parser(
+        "shrink",
+        help="replay a failing adversary seed and ddmin-minimize it "
+             "into a repro artifact",
+    )
+    p_shrink.add_argument("--seed", type=int, default=0)
+    p_shrink.add_argument("--servers", type=int, default=3)
+    p_shrink.add_argument("--steps", type=int, default=10)
+    p_shrink.add_argument("--step-interval", type=float, default=0.5)
+    p_shrink.add_argument("--schedule", default=None,
+                          help="shrink a schedule JSON file instead of "
+                               "generating one from --seed")
+    p_shrink.add_argument("--buggy", action="store_true",
+                          help="inject the BuggyLeader fixture (commits "
+                               "without a quorum) to demo the pipeline")
+    p_shrink.add_argument("--mode", choices=["kinds", "any"],
+                          default="kinds",
+                          help="what counts as reproducing: same violated "
+                               "property kinds (default) or any failure")
+    p_shrink.add_argument("-o", "--out", default=None,
+                          help="artifact directory "
+                               "(default repro-seed-<N>)")
+    p_shrink.set_defaults(fn=cmd_shrink)
 
     p_campaign = sub.add_parser(
         "campaign",

@@ -1,6 +1,31 @@
-"""Experiment harness: clusters, fault schedules, stability detection."""
+"""Experiment harness: clusters, fault schedules, replay, shrinking."""
 
 from repro.harness.cluster import Cluster
 from repro.harness.faults import FaultSchedule
+from repro.harness.replay import (
+    ReplayResult,
+    replay_schedule,
+    violation_signature,
+)
+from repro.harness.schedule import Action, ActionSchedule, apply_action
+from repro.harness.shrink import (
+    ShrinkResult,
+    ddmin,
+    make_reproducer,
+    shrink_schedule,
+)
 
-__all__ = ["Cluster", "FaultSchedule"]
+__all__ = [
+    "Cluster",
+    "FaultSchedule",
+    "Action",
+    "ActionSchedule",
+    "apply_action",
+    "ReplayResult",
+    "replay_schedule",
+    "violation_signature",
+    "ShrinkResult",
+    "ddmin",
+    "make_reproducer",
+    "shrink_schedule",
+]

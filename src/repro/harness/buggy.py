@@ -1,0 +1,45 @@
+"""Deliberately broken protocol variants for exercising the shrinker.
+
+The failure-reproduction pipeline (schedule -> replay -> ddmin) needs a
+known-bad protocol to prove itself against: correct Zab never violates
+the PO properties, so there would be nothing to shrink.
+:class:`BuggyLeaderContext` is the canonical plant — a leader that skips
+the quorum ACK-count check and commits a proposal as soon as *any*
+single acknowledgement (usually its own local fsync) arrives.  Crash
+that leader, or cut it off from the quorum while load flows, and it
+delivers transactions the rest of the ensemble never saw — a
+total-order violation the checker pins to an exact zxid.
+
+Inject it through the ``leader_factory`` seam::
+
+    from repro import Cluster
+    from repro.harness.buggy import BuggyLeaderContext
+
+    cluster = Cluster(3, seed=7, leader_factory=BuggyLeaderContext)
+"""
+
+from repro.zab.leader import LeaderContext
+
+
+class BuggyLeaderContext(LeaderContext):
+    """A leader that commits without waiting for a quorum of ACKs.
+
+    Identical to :class:`~repro.zab.leader.LeaderContext` except that
+    the commit loop treats one acknowledgement as enough — the classic
+    "forgot the quorum check" bug.  Everything else (discovery,
+    synchronisation, ordering) is untouched, so violations only surface
+    when the premature commits get lost: a leader crash or an isolating
+    partition with writes in flight.
+    """
+
+    def _try_commit(self):
+        committed_any = False
+        while self.proposals:
+            zxid, proposal = self.proposals.head()
+            if not proposal.acks:   # BUG: should be a quorum check
+                break
+            del self.proposals[zxid]
+            self._commit(zxid, proposal)
+            committed_any = True
+        if committed_any:
+            self._drain_pending()

@@ -7,6 +7,8 @@ operations, crash/recover/partition peers, and check the PO broadcast
 properties of everything that happened.
 """
 
+import warnings
+
 from repro.app.kvstore import KVStateMachine
 from repro.checker import check_all, Trace
 from repro.common.errors import ConfigError
@@ -40,6 +42,10 @@ class Cluster:
         the paper's shared-device anti-pattern, experiment E7).
     fsync_latency / disk_bandwidth:
         Parameters for the disk model(s).
+    checker_trace:
+        Optional :class:`~repro.checker.Trace` shared by every peer;
+        one is created when omitted.  (``trace=`` is a deprecated alias
+        kept for one release; it emits :class:`DeprecationWarning`.)
     tracer:
         Optional :class:`~repro.obs.Tracer`; it is bound to the
         simulator's clock and handed to the network and every peer.
@@ -48,17 +54,31 @@ class Cluster:
         Optional :class:`~repro.obs.MetricsRegistry`; when given, the
         kernel, network stats, and protocol counters register
         themselves as lazily-read providers/gauges on it.
+    leader_factory:
+        Optional leader-context factory forwarded to every peer — the
+        seam fault-injection tests use to plant deliberately broken
+        leaders (:mod:`repro.harness.buggy`).
     config_overrides:
         Extra keyword arguments forwarded to
         :class:`~repro.zab.config.ZabConfig`.
+
+    Everything after ``n_voters, n_observers, seed`` is keyword-only.
     """
 
-    def __init__(self, n_voters, n_observers=0, seed=0, net_config=None,
+    def __init__(self, n_voters, n_observers=0, seed=0, *, net_config=None,
                  app_factory=KVStateMachine, disk=None, fsync_latency=0.0005,
-                 disk_bandwidth=200e6, group_commit=True, trace=None,
-                 tracer=None, metrics=None, **config_overrides):
+                 disk_bandwidth=200e6, group_commit=True, checker_trace=None,
+                 tracer=None, metrics=None, leader_factory=None, trace=None,
+                 **config_overrides):
         if n_voters < 1:
             raise ConfigError("need at least one voter")
+        if trace is not None:
+            warnings.warn(
+                "Cluster(trace=...) is deprecated; use checker_trace=...",
+                DeprecationWarning, stacklevel=2,
+            )
+            if checker_trace is None:
+                checker_trace = trace
         self.sim = Simulator(seed=seed)
         self.tracer = (tracer if tracer is not None else NULL_TRACER).bind(
             self.sim
@@ -67,7 +87,8 @@ class Cluster:
         self.network = Network(
             self.sim, net_config or NetworkConfig(), tracer=self.tracer
         )
-        self.trace = trace if trace is not None else Trace()
+        self.trace = checker_trace if checker_trace is not None else Trace()
+        self.leader_factory = leader_factory
         voters = tuple(range(1, n_voters + 1))
         observers = tuple(
             range(n_voters + 1, n_voters + n_observers + 1)
@@ -100,7 +121,7 @@ class Cluster:
             self.peers[peer_id] = ZabPeer(
                 self.sim, self.network, peer_id, self.config,
                 app_factory=app_factory, storage=storage, trace=self.trace,
-                tracer=self.tracer,
+                tracer=self.tracer, leader_factory=leader_factory,
             )
         if self.metrics is not None:
             self._register_metrics(self.metrics)

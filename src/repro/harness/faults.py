@@ -7,11 +7,46 @@ and records what it did (for timeline benchmarks such as E3).
 
 
 class FaultSchedule:
-    """Declarative fault script bound to a cluster."""
+    """Declarative fault script bound to a cluster.
+
+    Every ``*_at`` builder returns ``self`` so scripts chain::
+
+        FaultSchedule(cluster).crash_at(1.0, 2).recover_at(2.0, 2)
+
+    For serializable, replayable scripts use
+    :class:`~repro.harness.schedule.ActionSchedule` and bind it here
+    with :meth:`from_actions`.
+    """
 
     def __init__(self, cluster):
         self.cluster = cluster
         self.events = []  # (time, description), filled as faults fire
+
+    @classmethod
+    def from_actions(cls, cluster, schedule, start=0.0):
+        """Bind an :class:`~repro.harness.schedule.ActionSchedule`.
+
+        Each action fires at ``start + action.time`` absolute sim time
+        (schedule times are relative to cluster stability; pass the
+        stability timestamp as *start*).  This is the event-driven
+        sibling of :func:`~repro.harness.replay.replay_schedule`, for
+        scripts that want faults injected while they drive the cluster
+        themselves.
+        """
+        from repro.harness.schedule import apply_action
+
+        fault_schedule = cls(cluster)
+
+        def make_fire(action):
+            def fire():
+                happened = apply_action(cluster, action)
+                if happened is not None:
+                    fault_schedule._log(happened)
+            return fire
+
+        for action in schedule:
+            cluster.sim.schedule_at(start + action.time, make_fire(action))
+        return fault_schedule
 
     def _log(self, description):
         self.events.append((self.cluster.sim.now, description))

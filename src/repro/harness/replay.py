@@ -1,0 +1,158 @@
+"""Bit-for-bit replay of an :class:`~repro.harness.schedule.ActionSchedule`.
+
+``replay_schedule`` boots a fresh :class:`~repro.harness.cluster.Cluster`,
+waits for stability, drives a steady client load, fires each scheduled
+action at its virtual time, then quiesces (heal + recover everyone) and
+checks the six PO broadcast properties plus replica convergence.  The
+whole run lives in simulated time, so the same ``(schedule, seed)`` pair
+always yields the same :class:`ReplayResult` — including the exact
+violation signature when the run is bad, which is what makes delta
+debugging (:mod:`repro.harness.shrink`) sound.
+"""
+
+from repro.harness.cluster import Cluster
+from repro.harness.schedule import apply_action
+
+
+def violation_signature(report, converged=True):
+    """A hashable, replay-stable fingerprint of what went wrong.
+
+    Sorted unique ``(property, zxid)`` pairs — the zxid taken from the
+    first offending event of each violation — plus a ``("diverged",
+    None)`` marker when replica states did not converge.  Two replays of
+    the same schedule on the same seed must produce identical
+    signatures; the shrinker and the corpus tests both rely on that.
+    """
+    entries = set()
+    for violation in report.violations:
+        zxid = None
+        for event in violation.events:
+            if getattr(event, "zxid", None) is not None:
+                zxid = event.zxid.as_tuple()
+                break
+        entries.add((violation.prop, zxid))
+    if not converged:
+        entries.add(("diverged", None))
+    return tuple(sorted(entries))
+
+
+class ReplayResult:
+    """Outcome of replaying one schedule."""
+
+    __slots__ = ("schedule", "ok", "converged", "violations", "signature",
+                 "report", "error", "cluster", "deliveries", "epochs",
+                 "fired")
+
+    def __init__(self, schedule, ok, converged, violations, signature,
+                 report=None, error=None, cluster=None, deliveries=0,
+                 epochs=(), fired=()):
+        self.schedule = schedule
+        self.ok = ok
+        self.converged = converged
+        self.violations = violations
+        self.signature = signature
+        self.report = report
+        self.error = error
+        self.cluster = cluster
+        self.deliveries = deliveries
+        self.epochs = epochs
+        self.fired = fired
+
+    @property
+    def passed(self):
+        return self.ok and self.converged and self.error is None
+
+    def __repr__(self):
+        if self.passed:
+            return "<ReplayResult OK %d deliveries>" % self.deliveries
+        return "<ReplayResult FAIL %s>" % (
+            self.error or list(self.signature),
+        )
+
+
+def replay_schedule(schedule, n_voters=None, seed=None, op_interval=None,
+                    settle=2.0, timeout=60.0, op=("incr", "campaign", 1),
+                    leader_factory=None, tracer=None, metrics=None,
+                    **cluster_kwargs):
+    """Run *schedule* against a fresh cluster; returns a ReplayResult.
+
+    ``n_voters`` / ``seed`` / ``op_interval`` default to the schedule's
+    own ``meta`` (falling back to 3 voters, seed 0, 20 ms), so a
+    schedule loaded from a repro artifact replays with no extra
+    arguments.  ``leader_factory`` is forwarded to the cluster — the
+    hook the :class:`~repro.harness.buggy.BuggyLeaderContext` fixture
+    uses to prove the shrink pipeline end to end.
+    """
+    meta = schedule.meta
+    if n_voters is None:
+        n_voters = meta.get("n_voters", 3)
+    if seed is None:
+        seed = meta.get("seed", 0)
+    if op_interval is None:
+        op_interval = meta.get("op_interval", 0.02)
+    cluster = Cluster(
+        n_voters, seed=seed, leader_factory=leader_factory,
+        tracer=tracer, metrics=metrics, **cluster_kwargs
+    ).start()
+    try:
+        cluster.run_until_stable(timeout=timeout)
+    except TimeoutError as exc:
+        return ReplayResult(
+            schedule, False, False, [], (), cluster=cluster,
+            error="never stable: %s" % exc,
+        )
+    t0 = cluster.sim.now
+
+    if op_interval:
+        def load_tick():
+            leader = cluster.leader()
+            if leader is not None:
+                try:
+                    leader.propose_op(op)
+                except Exception:
+                    pass
+            cluster.sim.schedule(op_interval, load_tick)
+
+        load_tick()
+
+    fired = []
+    for action in schedule:
+        target_time = t0 + action.time
+        if target_time > cluster.sim.now:
+            cluster.run(target_time - cluster.sim.now)
+        happened = apply_action(cluster, action)
+        if happened is not None:
+            fired.append((cluster.sim.now, happened))
+
+    # Quiesce: undo every standing fault, re-stabilise, settle.
+    cluster.heal()
+    for peer_id, peer in cluster.peers.items():
+        if peer.crashed:
+            cluster.recover(peer_id)
+    try:
+        cluster.run_until_stable(timeout=timeout)
+    except TimeoutError as exc:
+        return ReplayResult(
+            schedule, False, False, [], (), cluster=cluster, fired=fired,
+            error="never re-stabilised: %s" % exc,
+        )
+    cluster.run(settle)
+
+    report = cluster.check_properties()
+    states = {
+        tuple(sorted(state.items()))
+        for state in cluster.states().values()
+    }
+    converged = len(states) == 1
+    return ReplayResult(
+        schedule,
+        ok=report.ok,
+        converged=converged,
+        violations=sorted(report.violated_properties()),
+        signature=violation_signature(report, converged),
+        report=report,
+        cluster=cluster,
+        deliveries=report.stats["deliveries"],
+        epochs=report.stats["epochs"],
+        fired=fired,
+    )

@@ -1,0 +1,275 @@
+"""Declarative, serializable fault schedules.
+
+An :class:`ActionSchedule` is a list of ``(virtual_time, action, target)``
+records — the reified form of what the adversarial campaign used to do
+live with a random stream.  Times are *relative to cluster stability*
+(the moment ``run_until_stable`` first returns), which is itself
+deterministic for a given cluster seed, so replaying a schedule against
+a fresh cluster reproduces the original execution bit for bit.
+
+Separating *generation* (a pure function of the adversary seed) from
+*execution* (:func:`repro.harness.replay.replay_schedule`) is what makes
+failing campaign seeds replayable, serializable to JSON, shrinkable with
+:mod:`repro.harness.shrink`, and archivable under ``tests/corpus/``.
+
+Action kinds and their targets:
+
+================  =====================================================
+``crash``         target = peer id
+``recover``       target = peer id
+``crash_leader``  target = None (whoever leads when the action fires)
+``crash_follower`` target = None (first live non-leader voter)
+``recover_all``   target = None
+``partition``     target = list of groups (lists of peer ids)
+``heal``          target = None
+``submit``        target = number of writes to burst-submit
+================  =====================================================
+"""
+
+import json
+
+from repro.common.errors import ConfigError
+from repro.sim.random import SplitRandom
+
+KINDS = frozenset([
+    "crash", "recover", "crash_leader", "crash_follower",
+    "recover_all", "partition", "heal", "submit",
+])
+
+#: Adversary stream label; shared with the legacy campaign so schedules
+#: generated from seed N replay the exact runs the campaign used to do.
+ADVERSARY_STREAM = "campaign-adversary"
+
+
+class Action:
+    """One scheduled fault-injection step."""
+
+    __slots__ = ("time", "kind", "target")
+
+    def __init__(self, time, kind, target=None):
+        if kind not in KINDS:
+            raise ConfigError("unknown action kind: %r" % (kind,))
+        if kind == "partition":
+            target = [sorted(group) for group in (target or ())]
+            if not target:
+                raise ConfigError("partition action needs groups")
+        self.time = float(time)
+        self.kind = kind
+        self.target = target
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Action)
+            and self.time == other.time
+            and self.kind == other.kind
+            and self.target == other.target
+        )
+
+    def __hash__(self):
+        return hash((self.time, self.kind, json.dumps(self.target)))
+
+    def __repr__(self):
+        if self.target is None:
+            return "Action(%.3f, %s)" % (self.time, self.kind)
+        return "Action(%.3f, %s, %r)" % (self.time, self.kind, self.target)
+
+    def to_json(self):
+        record = {"t": self.time, "action": self.kind}
+        if self.target is not None:
+            record["target"] = self.target
+        return record
+
+    @classmethod
+    def from_json(cls, record):
+        return cls(record["t"], record["action"], record.get("target"))
+
+
+class ActionSchedule:
+    """An ordered list of :class:`Action` records plus provenance."""
+
+    def __init__(self, actions=(), meta=None):
+        self.actions = sorted(actions, key=lambda action: action.time)
+        self.meta = dict(meta or {})
+
+    # -- building ------------------------------------------------------
+
+    def add(self, time, kind, target=None):
+        """Append one action (kept sorted by time); chains."""
+        self.actions.append(Action(time, kind, target))
+        self.actions.sort(key=lambda action: action.time)
+        return self
+
+    def replace_actions(self, actions):
+        """A copy of this schedule with a different action list."""
+        return ActionSchedule(list(actions), meta=self.meta)
+
+    # -- sequence protocol ---------------------------------------------
+
+    def __len__(self):
+        return len(self.actions)
+
+    def __iter__(self):
+        return iter(self.actions)
+
+    def __getitem__(self, index):
+        return self.actions[index]
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ActionSchedule)
+            and self.actions == other.actions
+        )
+
+    def __repr__(self):
+        return "ActionSchedule(%d actions%s)" % (
+            len(self.actions),
+            ", seed=%r" % self.meta["seed"] if "seed" in self.meta else "",
+        )
+
+    # -- serialization -------------------------------------------------
+
+    def to_json(self):
+        return {
+            "version": 1,
+            "meta": self.meta,
+            "actions": [action.to_json() for action in self.actions],
+        }
+
+    @classmethod
+    def from_json(cls, obj):
+        return cls(
+            [Action.from_json(record) for record in obj["actions"]],
+            meta=obj.get("meta"),
+        )
+
+    def dumps(self, indent=None):
+        return json.dumps(self.to_json(), indent=indent)
+
+    @classmethod
+    def loads(cls, text):
+        return cls.from_json(json.loads(text))
+
+    def save(self, path):
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.dumps(indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path):
+        with open(path, encoding="utf-8") as f:
+            return cls.loads(f.read())
+
+    # -- campaign compatibility ----------------------------------------
+
+    def legacy_pairs(self):
+        """The campaign's historical ``(kind, victim)`` action tuples."""
+        pairs = []
+        for action in self.actions:
+            if action.kind == "partition" and len(action.target) == 1 \
+                    and len(action.target[0]) == 1:
+                pairs.append(("isolate", action.target[0][0]))
+            elif action.kind in ("crash", "recover"):
+                pairs.append((action.kind, action.target))
+            else:
+                pairs.append((action.kind, None))
+        return pairs
+
+    # -- generation ----------------------------------------------------
+
+    @classmethod
+    def generate(cls, seed, n_voters=3, steps=10, step_interval=0.5,
+                 op_interval=0.02):
+        """The campaign adversary as a pure function of *seed*.
+
+        Reproduces the exact decision sequence the live adversary used
+        to make: the same PRNG stream (root seed + stream label, see
+        :class:`~repro.sim.random.SplitRandom`) and the same live/crashed
+        bookkeeping, tracked symbolically instead of read off a running
+        cluster.  This is valid because peers only ever crash or recover
+        through the adversary's own actions.
+        """
+        rng = SplitRandom(seed).stream(ADVERSARY_STREAM)
+        members = list(range(1, n_voters + 1))
+        crashed = set()
+        max_down = (n_voters - 1) // 2
+        schedule = cls(meta={
+            "seed": seed,
+            "n_voters": n_voters,
+            "steps": steps,
+            "step_interval": step_interval,
+            "op_interval": op_interval,
+        })
+        for step in range(steps):
+            time = (step + 1) * step_interval
+            crashed_list = [p for p in members if p in crashed]
+            live = [p for p in members if p not in crashed]
+            roll = rng.random()
+            if crashed_list and (roll < 0.4 or len(crashed_list) >= max_down):
+                victim = rng.choice(crashed_list)
+                crashed.discard(victim)
+                schedule.add(time, "recover", victim)
+            elif roll < 0.8:
+                victim = rng.choice(live)
+                crashed.add(victim)
+                schedule.add(time, "crash", victim)
+            elif roll < 0.9 and len(live) > 2:
+                victim = rng.choice(live)
+                schedule.add(time, "partition", [[victim]])
+            else:
+                schedule.add(time, "heal")
+        return schedule
+
+
+def apply_action(cluster, action):
+    """Execute one :class:`Action` against a live cluster, now.
+
+    Tolerant of redundant operations (crashing a crashed peer,
+    recovering a live one): shrinking drops actions from a schedule, so
+    the survivors must stay individually applicable.  Returns a short
+    human-readable description of what actually happened, or ``None``
+    if the action was a no-op.
+    """
+    if action.kind == "crash":
+        if not cluster.peers[action.target].crashed:
+            cluster.crash(action.target)
+            return "crash peer %d" % action.target
+    elif action.kind == "recover":
+        if cluster.peers[action.target].crashed:
+            cluster.recover(action.target)
+            return "recover peer %d" % action.target
+    elif action.kind == "crash_leader":
+        leader = cluster.leader()
+        if leader is not None:
+            cluster.crash(leader.peer_id)
+            return "crash leader peer %d" % leader.peer_id
+    elif action.kind == "crash_follower":
+        for peer in cluster.peers.values():
+            if (not peer.crashed and not peer.is_observer
+                    and peer.is_active_follower):
+                cluster.crash(peer.peer_id)
+                return "crash follower peer %d" % peer.peer_id
+    elif action.kind == "recover_all":
+        recovered = [
+            peer_id for peer_id, peer in cluster.peers.items()
+            if peer.crashed
+        ]
+        for peer_id in recovered:
+            cluster.recover(peer_id)
+        if recovered:
+            return "recover peers %s" % recovered
+    elif action.kind == "partition":
+        cluster.partition(*[set(group) for group in action.target])
+        return "partition %r" % (action.target,)
+    elif action.kind == "heal":
+        cluster.heal()
+        return "heal"
+    elif action.kind == "submit":
+        leader = cluster.leader()
+        if leader is not None:
+            for i in range(action.target or 1):
+                try:
+                    leader.propose_op(("incr", "burst", 1))
+                except Exception:
+                    break
+            return "submit burst of %d" % (action.target or 1)
+    return None

@@ -1,0 +1,195 @@
+"""Delta-debugging minimization of failing fault schedules.
+
+Given a schedule whose replay violates the PO broadcast properties (or
+diverges), :func:`shrink_schedule` searches for a minimal sub-schedule
+that still reproduces the failure:
+
+1. **ddmin** (Zeller & Hildebrandt's classic delta debugging) over the
+   action list — try ever-finer subsets and complements, keeping any
+   reduction that still fails;
+2. **partition coarsening** — multi-group partitions are simplified to
+   single groups where the failure survives;
+3. **time snapping** — action times are rounded to coarse grid values
+   (1 s, then 0.5 s, then 0.1 s) so the surviving repro reads like a
+   hand-written test, not a random trace.
+
+Every candidate is evaluated by actually replaying it, so results are
+exact; replays are memoized on the serialized schedule, and the whole
+search is deterministic because replay is.
+"""
+
+from repro.harness.replay import replay_schedule
+
+
+def ddmin(items, failing):
+    """Minimal failing sublist of *items* under the *failing* predicate.
+
+    Standard ddmin: assumes ``failing(items)`` holds; returns a sublist
+    that still fails and from which no chunk of the current granularity
+    can be removed.  The predicate is called with candidate sublists.
+    """
+    items = list(items)
+    n = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // n)
+        subsets = [
+            items[i:i + chunk] for i in range(0, len(items), chunk)
+        ]
+        reduced = False
+        for i, subset in enumerate(subsets):
+            if len(subset) < len(items) and failing(subset):
+                items = subset
+                n = 2
+                reduced = True
+                break
+            complement = [
+                item
+                for j, other in enumerate(subsets)
+                for item in other
+                if j != i
+            ]
+            if complement and len(complement) < len(items) \
+                    and failing(complement):
+                items = complement
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(items):
+                break
+            n = min(len(items), n * 2)
+    return items
+
+
+class ShrinkResult:
+    """What :func:`shrink_schedule` found."""
+
+    __slots__ = ("schedule", "original_len", "replays", "signature")
+
+    def __init__(self, schedule, original_len, replays, signature):
+        self.schedule = schedule
+        self.original_len = original_len
+        self.replays = replays
+        self.signature = signature
+
+    def __repr__(self):
+        return "<ShrinkResult %d -> %d actions (%d replays)>" % (
+            self.original_len, len(self.schedule), self.replays,
+        )
+
+
+def make_reproducer(baseline, mode="kinds", **replay_kwargs):
+    """Build a memoized ``failing(schedule) -> bool`` predicate.
+
+    *baseline* is the :class:`~repro.harness.replay.ReplayResult` of the
+    original failing schedule.  ``mode="kinds"`` demands the candidate
+    violate at least the same property kinds (divergence counts as the
+    kind ``"diverged"``); ``mode="any"`` accepts any failure.  The
+    returned predicate carries ``.calls`` (replays actually run) and
+    ``.last_result`` for artifact emission.
+    """
+    want = {prop for prop, _zxid in baseline.signature}
+    cache = {}
+
+    def failing(schedule):
+        key = schedule.dumps()
+        if key in cache:
+            return cache[key]
+        failing.calls += 1
+        result = replay_schedule(schedule, **replay_kwargs)
+        if result.passed:
+            verdict = False
+        elif result.error is not None:
+            # Stabilisation timeouts are a different failure mode, not
+            # the property violation we are chasing; never "reproduces".
+            verdict = False
+        elif mode == "any":
+            verdict = True
+        else:
+            have = {prop for prop, _zxid in result.signature}
+            verdict = want <= have
+        cache[key] = verdict
+        if verdict:
+            failing.last_result = result
+        return verdict
+
+    failing.calls = 0
+    failing.last_result = baseline
+    return failing
+
+
+def _snap_times(schedule, failing, grids=(1.0, 0.5, 0.1)):
+    """Round action times to coarse grid values where the failure holds."""
+    actions = list(schedule.actions)
+    for index, action in enumerate(actions):
+        for grid in grids:
+            snapped = round(round(action.time / grid) * grid, 6)
+            if snapped == action.time or snapped < 0:
+                continue
+            candidate = list(actions)
+            candidate[index] = type(action)(
+                snapped, action.kind, action.target
+            )
+            trial = schedule.replace_actions(candidate)
+            if failing(trial):
+                actions = trial.actions
+                break
+    return schedule.replace_actions(actions)
+
+
+def _coarsen_partitions(schedule, failing):
+    """Simplify multi-group partition actions to single groups."""
+    actions = list(schedule.actions)
+    for index, action in enumerate(actions):
+        if action.kind != "partition" or len(action.target) <= 1:
+            continue
+        for group in action.target:
+            candidate = list(actions)
+            candidate[index] = type(action)(
+                action.time, "partition", [group]
+            )
+            trial = schedule.replace_actions(candidate)
+            if failing(trial):
+                actions = trial.actions
+                break
+    return schedule.replace_actions(actions)
+
+
+def shrink_schedule(schedule, failing=None, baseline=None, mode="kinds",
+                    **replay_kwargs):
+    """Minimize a failing *schedule*; returns a :class:`ShrinkResult`.
+
+    Either pass a ready-made *failing* predicate (see
+    :func:`make_reproducer`) or let one be built from *baseline* — the
+    ReplayResult of the original schedule — replaying candidates with
+    *replay_kwargs*.  Raises ``ValueError`` if the input schedule does
+    not itself fail, since ddmin's invariant would be void.
+    """
+    if failing is None:
+        if baseline is None:
+            baseline = replay_schedule(schedule, **replay_kwargs)
+        if baseline.passed:
+            raise ValueError("schedule does not fail; nothing to shrink")
+        failing = make_reproducer(baseline, mode=mode, **replay_kwargs)
+    if not failing(schedule):
+        raise ValueError("failure did not reproduce on the first replay")
+
+    minimal = schedule.replace_actions(
+        ddmin(list(schedule.actions),
+              lambda actions: failing(schedule.replace_actions(actions)))
+    )
+    minimal = _coarsen_partitions(minimal, failing)
+    minimal = _snap_times(minimal, failing)
+    # A second ddmin pass: snapping can make formerly-essential timing
+    # actions redundant.
+    minimal = minimal.replace_actions(
+        ddmin(list(minimal.actions),
+              lambda actions: failing(minimal.replace_actions(actions)))
+    )
+    last = getattr(failing, "last_result", None)
+    return ShrinkResult(
+        minimal,
+        original_len=len(schedule),
+        replays=getattr(failing, "calls", 0),
+        signature=last.signature if last is not None else (),
+    )

@@ -86,10 +86,16 @@ class ZabPeer(Process):
         Optional :class:`~repro.obs.trace.Tracer` receiving structured
         observability events (state transitions, commits, sync choices);
         defaults to the no-op tracer.
+    leader_factory:
+        Callable building the leader-side context when this peer wins an
+        election; defaults to :class:`~repro.zab.leader.LeaderContext`.
+        Fault-injection tests swap in deliberately broken variants (see
+        :mod:`repro.harness.buggy`).
     """
 
     def __init__(self, sim, network, peer_id, config, app_factory,
-                 storage=None, trace=None, tracer=None):
+                 storage=None, trace=None, tracer=None,
+                 leader_factory=None):
         Process.__init__(self, sim, "peer-%d" % peer_id)
         self.network = network
         self.peer_id = peer_id
@@ -98,6 +104,7 @@ class ZabPeer(Process):
         self.storage = storage or PeerStorage()
         self.trace = trace
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.leader_factory = leader_factory or LeaderContext
         self.is_observer = peer_id in config.observers
         self.rng = sim.random.stream("peer-%d" % peer_id)
         self.election = FastLeaderElection(self)
@@ -201,7 +208,7 @@ class ZabPeer(Process):
         if leader == self.peer_id:
             self.times_led += 1
             self._set_state(messages.LEADING)
-            self.ctx = LeaderContext(self)
+            self.ctx = self.leader_factory(self)
         else:
             self._set_state(messages.FOLLOWING)
             self.ctx = FollowerContext(self, leader)

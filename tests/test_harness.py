@@ -1,9 +1,32 @@
 """Unit tests for the cluster harness and fault scheduling."""
 
+import warnings
+
 import pytest
 
+from repro.checker import Trace
 from repro.common.errors import ConfigError
-from repro.harness import Cluster, FaultSchedule
+from repro.harness import ActionSchedule, Cluster, FaultSchedule
+
+
+def test_checker_trace_kwarg():
+    trace = Trace()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # must NOT warn
+        cluster = Cluster(3, seed=68, checker_trace=trace)
+    assert cluster.trace is trace
+
+
+def test_trace_kwarg_deprecated_but_working():
+    trace = Trace()
+    with pytest.warns(DeprecationWarning):
+        cluster = Cluster(3, seed=68, trace=trace)
+    assert cluster.trace is trace
+
+
+def test_cluster_kwargs_are_keyword_only():
+    with pytest.raises(TypeError):
+        Cluster(3, 0, 68, None)  # net_config positionally
 
 
 def test_cluster_validation():
@@ -80,6 +103,26 @@ def test_partition_schedule():
     cluster.run_until(lambda: cluster.sim.now >= 2.5, timeout=10)
     cluster.run_until_stable(timeout=30)
     assert [text for _t, text in schedule.events][-1] == "heal"
+
+
+def test_fault_schedule_from_actions():
+    schedule = (
+        ActionSchedule()
+        .add(1.0, "crash", 1)
+        .add(2.0, "recover", 1)
+        .add(3.0, "partition", [[2]])
+        .add(4.0, "heal")
+    )
+    cluster = Cluster(3, seed=69)
+    faults = FaultSchedule.from_actions(cluster, schedule)
+    cluster.start()
+    cluster.run_until_stable(timeout=30)
+    cluster.run_until(lambda: cluster.sim.now >= 4.5, timeout=30)
+    descriptions = [text for _t, text in faults.events]
+    assert descriptions == [
+        "crash peer 1", "recover peer 1", "partition [[2]]", "heal",
+    ]
+    cluster.run_until_stable(timeout=30)
 
 
 def test_states_excludes_crashed_and_unbuilt():

@@ -1,0 +1,70 @@
+"""Unit tests for the ddmin shrinker (no cluster replays involved)."""
+
+import pytest
+
+from repro.harness.schedule import ActionSchedule
+from repro.harness.shrink import ddmin, shrink_schedule
+
+
+def test_ddmin_single_culprit():
+    items = list(range(20))
+    result = ddmin(items, lambda subset: 13 in subset)
+    assert result == [13]
+
+
+def test_ddmin_interacting_pair():
+    items = list(range(16))
+    result = ddmin(items, lambda s: 3 in s and 11 in s)
+    assert sorted(result) == [3, 11]
+
+
+def test_ddmin_order_preserved():
+    items = ["a", "b", "c", "d", "e", "f"]
+    result = ddmin(items, lambda s: "e" in s and "b" in s)
+    assert result == ["b", "e"]
+
+
+def test_ddmin_everything_needed():
+    items = [1, 2, 3]
+    result = ddmin(items, lambda s: len(s) == 3)
+    assert result == [1, 2, 3]
+
+
+def _schedule():
+    return (
+        ActionSchedule(meta={"seed": 0})
+        .add(0.47, "crash", 1)
+        .add(1.03, "recover", 1)
+        .add(1.61, "partition", [[1], [2, 3]])
+        .add(2.13, "crash_leader")
+        .add(2.90, "heal")
+    )
+
+
+def test_shrink_schedule_with_synthetic_predicate():
+    # "Fails" whenever a crash_leader action survives: the shrinker must
+    # strip everything else and snap its time onto the coarse grid.
+    def failing(schedule):
+        return any(a.kind == "crash_leader" for a in schedule)
+
+    result = shrink_schedule(_schedule(), failing=failing)
+    assert [a.kind for a in result.schedule] == ["crash_leader"]
+    assert result.original_len == 5
+    # 2.13 snaps to the 1.0 grid
+    assert result.schedule[0].time == 2.0
+
+
+def test_shrink_schedule_coarsens_partition_groups():
+    def failing(schedule):
+        return any(
+            a.kind == "partition" and [1] in a.target for a in schedule
+        )
+
+    result = shrink_schedule(_schedule(), failing=failing)
+    assert len(result.schedule) == 1
+    assert result.schedule[0].target == [[1]]
+
+
+def test_shrink_schedule_rejects_passing_input():
+    with pytest.raises(ValueError):
+        shrink_schedule(_schedule(), failing=lambda schedule: False)

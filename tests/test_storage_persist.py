@@ -84,6 +84,32 @@ def test_replace_with_survives_reload(tmp_path):
     assert reloaded.log.last_durable() == Zxid(2, 1)
 
 
+def test_purge_then_replace_survive_consecutive_reloads(tmp_path):
+    """The sync path's mutations compose across power cycles: purge a
+    prefix, reload, replace the whole history (with its own purge
+    boundary, the SNAP-sync case), reload again."""
+    _dir, storage = fresh_storage(tmp_path)
+    for i in range(1, 8):
+        storage.log.append(Zxid(1, i), txn(i), size=16)
+    storage.log.purge_through(Zxid(1, 4))
+
+    reloaded = reload_storage(tmp_path)
+    assert reloaded.log.purged_through() == Zxid(1, 4)
+    assert reloaded.log.first_durable() == Zxid(1, 5)
+    assert len(reloaded.log) == 3
+
+    reloaded.log.replace_with(
+        [LogRecord(Zxid(2, 3), txn(3), 16),
+         LogRecord(Zxid(2, 4), txn(4), 16)],
+        purged_through=Zxid(2, 2),
+    )
+    again = reload_storage(tmp_path)
+    assert again.log.purged_through() == Zxid(2, 2)
+    assert again.log.first_durable() == Zxid(2, 3)
+    assert again.log.last_durable() == Zxid(2, 4)
+    assert len(again.log) == 2
+
+
 def test_torn_journal_tail_is_dropped_on_reload(tmp_path):
     directory, storage = fresh_storage(tmp_path)
     for i in range(1, 4):
