@@ -14,7 +14,12 @@ Checks every line against the format in docs/OBSERVABILITY.md:
 - ``kind`` is a non-empty dotted lowercase string from the documented
   catalogue (unknown kinds are an error — extend the catalogue and
   docs/OBSERVABILITY.md together);
-- ``fields`` is a JSON object.
+- ``fields`` is a JSON object;
+- commit-path kinds carry a well-formed ``zxid`` correlation field
+  (``[epoch, counter]``, two non-negative integers) so the span
+  builder (``repro profile``) can always correlate them;
+- wire-level ``net.*`` kinds carry a positive integer ``msg_id`` so
+  send/deliver/drop events pair up in the causality DAG.
 
 Exits 0 and prints a per-kind tally on success; exits 1 with the
 offending line number on the first violation.
@@ -30,12 +35,34 @@ KNOWN_KINDS = {
     "election.start", "election.decided",
     "leader.phase", "leader.newepoch", "leader.sync",
     "leader.established", "leader.propose",
-    "follower.sync", "follower.active",
+    "leader.ack", "leader.quorum", "leader.commit", "leader.batch",
+    "follower.sync", "follower.active", "follower.ack",
     "peer.state", "peer.looking", "peer.epoch", "peer.commit",
+    "log.append", "log.durable", "log.flush",
     "fault.crash", "fault.recover", "fault.partition", "fault.heal",
 }
 
+# Commit-path kinds must carry a zxid so spans can correlate them.
+ZXID_REQUIRED = {
+    "leader.propose", "leader.ack", "leader.quorum", "leader.commit",
+    "follower.ack", "log.append", "log.durable", "peer.commit",
+}
+
+# Wire-level kinds must carry the message id that pairs send/deliver.
+MSG_ID_REQUIRED = {"net.send", "net.deliver", "net.drop"}
+
 KIND_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+
+def _is_zxid(value):
+    return (
+        isinstance(value, list) and len(value) == 2
+        and all(
+            isinstance(part, int) and not isinstance(part, bool)
+            and part >= 0
+            for part in value
+        )
+    )
 
 
 def validate(handle):
@@ -79,11 +106,27 @@ def validate(handle):
                 "line %d: undocumented kind %r (update the catalogue "
                 "and docs/OBSERVABILITY.md)" % (lineno, kind)
             )
-        if not isinstance(record["fields"], dict):
+        fields = record["fields"]
+        if not isinstance(fields, dict):
             raise ValueError(
                 "line %d: fields is %r, not an object"
-                % (lineno, type(record["fields"]).__name__)
+                % (lineno, type(fields).__name__)
             )
+        if kind in ZXID_REQUIRED and not _is_zxid(fields.get("zxid")):
+            raise ValueError(
+                "line %d: %s needs zxid=[epoch, counter], got %r"
+                % (lineno, kind, fields.get("zxid"))
+            )
+        if kind in MSG_ID_REQUIRED:
+            msg_id = fields.get("msg_id")
+            if (
+                not isinstance(msg_id, int) or isinstance(msg_id, bool)
+                or msg_id <= 0
+            ):
+                raise ValueError(
+                    "line %d: %s needs a positive integer msg_id, got %r"
+                    % (lineno, kind, msg_id)
+                )
         counts[kind] = counts.get(kind, 0) + 1
     return counts
 

@@ -30,9 +30,16 @@ from repro.harness import (
     replay_schedule,
     shrink_schedule,
 )
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import (
+    CausalityGraph,
+    MetricsRegistry,
+    Tracer,
+    TxnSpan,
+    build_spans,
+    profile_trace,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Cluster",
@@ -46,5 +53,9 @@ __all__ = [
     "Trace",
     "Tracer",
     "MetricsRegistry",
+    "TxnSpan",
+    "build_spans",
+    "profile_trace",
+    "CausalityGraph",
     "__version__",
 ]

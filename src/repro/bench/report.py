@@ -1,0 +1,117 @@
+"""Machine-readable benchmark reports (``BENCH_<name>.json``).
+
+Every gated performance artifact flows through one flat schema so the
+regression checker (``scripts/check_bench_regression.py``) can compare
+runs without knowing which experiment produced them::
+
+    {
+      "schema": "repro-bench/v1",
+      "name": "smoke",
+      "params": {...},              # how the run was configured
+      "metrics": {                  # flat, dot-keyed, numbers only
+        "throughput_ops": 771.9,
+        "latency.p50_ms": 0.55,
+        "stage.quorum_wait.p99_ms": 0.75,
+        ...
+      }
+    }
+
+``metrics`` values are plain numbers (or null when a stage was not
+observed); everything else about the run — tables, traces, span dumps —
+lives in the human-facing outputs.  The committed baseline with
+per-metric tolerances is ``benchmarks/baseline.json``; from this PR
+onward every change to the perf trajectory is a recorded, reviewed
+diff against it.
+"""
+
+import json
+
+SCHEMA = "repro-bench/v1"
+
+#: Span stages promoted into bench metrics (p50/p99 each).
+_PROFILE_STAGES = ("log_fsync", "quorum_wait", "commit_latency", "e2e")
+
+
+def bench_metrics(result):
+    """Flatten a :class:`~repro.bench.runner.BenchResult` to gate metrics."""
+    metrics = {
+        "throughput_ops": result.throughput,
+        "committed": result.committed,
+        "duration_s": result.duration,
+    }
+    latency = result.latency or {}
+    for key in ("mean", "p50", "p95", "p99"):
+        if key in latency:
+            metrics["latency.%s_ms" % key] = latency[key] * 1e3
+    if result.net_stats:
+        metrics["net.bytes_sent"] = sum(
+            result.net_stats.get("bytes_sent", {}).values()
+        )
+        metrics["net.messages_dropped"] = result.net_stats.get(
+            "messages_dropped", 0
+        )
+    return metrics
+
+
+def profile_metrics(summary):
+    """Flatten a :func:`repro.obs.spans.profile_trace` summary."""
+    metrics = {
+        "transactions": summary["transactions"],
+        "committed": summary["committed"],
+    }
+    if summary.get("throughput_ops") is not None:
+        metrics["throughput_ops"] = summary["throughput_ops"]
+    for stage in _PROFILE_STAGES:
+        snap = summary["stages"].get(stage, {})
+        if snap.get("count"):
+            metrics["stage.%s.p50_ms" % stage] = snap["p50"] * 1e3
+            metrics["stage.%s.p99_ms" % stage] = snap["p99"] * 1e3
+    fraction = summary.get("quorum_wait_fraction", {})
+    if fraction.get("count"):
+        metrics["quorum_wait_fraction.mean"] = fraction["mean"]
+    return metrics
+
+
+def make_report(name, metrics, params=None):
+    """Assemble one schema-tagged report dict."""
+    return {
+        "schema": SCHEMA,
+        "name": name,
+        "params": params or {},
+        "metrics": metrics,
+    }
+
+
+def write_report(report, path):
+    """Write a report as pretty, key-sorted JSON; returns *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_report(path):
+    """Read a ``BENCH_*.json`` file, checking its schema tag."""
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            "%s: schema %r is not %r" % (path, report.get("schema"), SCHEMA)
+        )
+    if not isinstance(report.get("metrics"), dict):
+        raise ValueError("%s: missing metrics object" % path)
+    return report
+
+
+def write_bench_report(result, name, path=None, params=None):
+    """Emit ``BENCH_<name>.json`` for a bench run; returns the path."""
+    merged = dict(result.params)
+    merged.update(params or {})
+    report = make_report(name, bench_metrics(result), params=merged)
+    return write_report(report, path or "BENCH_%s.json" % name)
+
+
+def write_profile_report(summary, name, path=None, params=None):
+    """Emit ``BENCH_<name>.json`` for a profile run; returns the path."""
+    report = make_report(name, profile_metrics(summary), params=params)
+    return write_report(report, path or "BENCH_%s.json" % name)

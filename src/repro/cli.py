@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro experiment all
     python -m repro bench --servers 5      # one custom throughput run
     python -m repro trace -o trace.jsonl   # traced crash/recovery timeline
+    python -m repro profile --servers 5    # commit-path stage breakdown
     python -m repro fuzz --seed 7          # random fault injection + check
     python -m repro shrink --seed 7        # replay + ddmin-minimize a failure
     python -m repro info                   # inventory
@@ -86,6 +87,13 @@ def cmd_bench(args):
              metrics["zab"]["commits"],
              metrics["zab"]["elections_decided"],
              metrics["net"]["messages_dropped"]))
+    if args.json:
+        from repro.bench import report as bench_report
+
+        path = bench_report.write_bench_report(
+            result, args.name, path=args.json
+        )
+        print("report:       %s" % path)
     return 0
 
 
@@ -133,6 +141,89 @@ def cmd_trace(args):
     report = cluster.check_properties()
     print("properties: %s" % ("OK" if report.ok else "VIOLATED"))
     return 0 if report.ok else 1
+
+
+def cmd_profile(args):
+    from repro import obs
+    from repro.bench import report as bench_report
+
+    if args.trace:
+        # Analyse an existing capture instead of running a scenario.
+        try:
+            events = obs.load_jsonl(args.trace)
+        except (OSError, ValueError, KeyError) as exc:
+            print("cannot read %s: %s" % (args.trace, exc),
+                  file=sys.stderr)
+            return 2
+        params = {"trace": args.trace}
+    else:
+        from repro.harness.scenarios import crash_recovery_timeline
+
+        tracer = obs.Tracer()
+        if not args.net:
+            # The span profile only needs protocol-level events; wire
+            # events (~10 per op) are opt-in for the causality DAG.
+            tracer.disable("net.")
+        crash_recovery_timeline(
+            n_voters=args.servers,
+            seed=args.seed,
+            rate=args.rate,
+            duration=args.duration,
+            tracer=tracer,
+            follower_crash_at=None,
+            leader_crash_at=None,
+            recover_at=None,
+        )
+        # Round-trip through JSONL: the analysis below always runs on a
+        # replayed trace, so `repro profile --trace <file>` on the dump
+        # is bit-for-bit the same view.
+        count = obs.dump_jsonl(tracer, args.out)
+        print("trace: %d events -> %s" % (count, args.out))
+        print()
+        events = obs.load_jsonl(args.out)
+        params = {
+            "servers": args.servers,
+            "seed": args.seed,
+            "rate": args.rate,
+            "duration": args.duration,
+            "net": bool(args.net),
+        }
+
+    summary = obs.profile_trace(events, top=args.top)
+    if not summary["transactions"]:
+        print("no leader.propose events in the trace; nothing to profile",
+              file=sys.stderr)
+        return 1
+    print(obs.render_profile(summary))
+
+    graph = obs.CausalityGraph.from_events(events)
+    digest = graph.summary()
+    messages = digest["messages"]
+    if messages["sent"]:
+        print()
+        print("messages:     %d sent, %d delivered, %d dropped, "
+              "mean wire latency %.3fms"
+              % (messages["sent"], messages["delivered"],
+                 messages["dropped"],
+                 (messages["mean_latency"] or 0.0) * 1e3))
+        slowest = summary.get("slowest")
+        if slowest:
+            path = graph.critical_path(slowest[0]["zxid"])
+            if path:
+                print("critical path of slowest txn %d:%d:"
+                      % tuple(slowest[0]["zxid"]))
+                t0 = path[0][0]
+                for t, node, label in path:
+                    print("  +%7.3fms  node %-3s %s"
+                          % ((t - t0) * 1e3, node, label))
+
+    if args.json:
+        path = bench_report.write_profile_report(
+            summary, args.name, path=args.json, params=params
+        )
+        print()
+        print("report: %s" % path)
+    return 0
 
 
 def cmd_fuzz(args):
@@ -349,6 +440,10 @@ def build_parser():
                          help="link speed in Mbit/s (default 200)")
     p_bench.add_argument("--disk", action="store_true",
                          help="enable the fsync/disk model")
+    p_bench.add_argument("--json", default=None, metavar="PATH",
+                         help="also write a BENCH_<name>.json report")
+    p_bench.add_argument("--name", default="bench",
+                         help="report name for --json (default bench)")
     p_bench.set_defaults(fn=cmd_bench)
 
     p_trace = sub.add_parser(
@@ -366,6 +461,34 @@ def build_parser():
     p_trace.add_argument("--net", action="store_true",
                          help="include wire-level net.* events (large)")
     p_trace.set_defaults(fn=cmd_trace)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="per-transaction commit-path profile: stage p50/p99, "
+             "quorum-wait fractions, straggler/quorum-critical followers",
+    )
+    p_profile.add_argument("--servers", type=int, default=5)
+    p_profile.add_argument("--seed", type=int, default=3)
+    p_profile.add_argument("--rate", type=float, default=800.0,
+                           help="open-loop offered load in ops/s")
+    p_profile.add_argument("--duration", type=float, default=3.0,
+                           help="simulated seconds after stability")
+    p_profile.add_argument("--trace", default=None,
+                           help="profile an existing JSONL trace instead "
+                                "of running a scenario")
+    p_profile.add_argument("-o", "--out", default="profile.jsonl",
+                           help="where to dump the scenario trace "
+                                "(default profile.jsonl)")
+    p_profile.add_argument("--net", action="store_true",
+                           help="record wire-level net.* events too "
+                                "(enables per-hop critical paths)")
+    p_profile.add_argument("--top", type=int, default=5,
+                           help="how many slowest transactions to list")
+    p_profile.add_argument("--json", default=None, metavar="PATH",
+                           help="also write a BENCH_<name>.json report")
+    p_profile.add_argument("--name", default="profile",
+                           help="report name for --json (default profile)")
+    p_profile.set_defaults(fn=cmd_profile)
 
     p_fuzz = sub.add_parser(
         "fuzz", help="random crash/recover run + property check"

@@ -11,16 +11,22 @@ HEADER_BYTES = 64  # rough TCP/IP + framing overhead per message
 
 
 class Envelope:
-    """A payload in flight from *src* to *dst*."""
+    """A payload in flight from *src* to *dst*.
 
-    __slots__ = ("src", "dst", "payload", "size", "send_time")
+    ``msg_id`` is the fabric-assigned monotone id that correlates the
+    ``net.send`` and ``net.deliver``/``net.drop`` trace events of one
+    message (the causality analysis joins on it).
+    """
 
-    def __init__(self, src, dst, payload, size, send_time):
+    __slots__ = ("src", "dst", "payload", "size", "send_time", "msg_id")
+
+    def __init__(self, src, dst, payload, size, send_time, msg_id=None):
         self.src = src
         self.dst = dst
         self.payload = payload
         self.size = size
         self.send_time = send_time
+        self.msg_id = msg_id
 
     def __repr__(self):
         return "<Envelope %s->%s %s (%dB)>" % (

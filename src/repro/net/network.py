@@ -29,6 +29,15 @@ from repro.obs.trace import NULL_TRACER
 _FIFO_EPSILON = 1e-9
 
 
+def _payload_zxid(payload):
+    """The transaction id a commit-path message carries, as a JSON-safe
+    tuple, or None for messages that are not about one transaction
+    (duck-typed so the fabric stays protocol-agnostic)."""
+    zxid = getattr(payload, "zxid", None)
+    as_tuple = getattr(zxid, "as_tuple", None)
+    return as_tuple() if as_tuple is not None else None
+
+
 class NetworkConfig:
     """Tunable parameters of the network fabric.
 
@@ -76,6 +85,7 @@ class Network:
         self._link_latency = {}   # (src, dst) -> one-way latency override
         self._node_bandwidth = {}  # node -> egress bytes/s override
         self._rng = sim.random.stream("network")
+        self._msg_seq = 0         # monotone id linking net.send -> net.deliver
 
     # ------------------------------------------------------------------
     # Endpoint lifecycle
@@ -148,7 +158,10 @@ class Network:
         """
         size = payload_size(payload)
         self.stats.record_send(src, size, type(payload).__name__)
-        envelope = Envelope(src, dst, payload, size, self.sim.now)
+        self._msg_seq += 1
+        envelope = Envelope(
+            src, dst, payload, size, self.sim.now, msg_id=self._msg_seq
+        )
 
         if not self._alive.get(src, False):
             self._drop(envelope, src, "src-dead")
@@ -168,6 +181,7 @@ class Network:
             tracer.emit(
                 "net.send", node=src, dst=dst,
                 type=type(payload).__name__, size=size,
+                msg_id=envelope.msg_id, zxid=_payload_zxid(payload),
             )
         arrival = self._arrival_time(src, dst, size)
         target_incarnation = self._incarnation[dst]
@@ -218,6 +232,7 @@ class Network:
                 "net.drop", node=node, reason=reason,
                 src=envelope.src, dst=envelope.dst,
                 type=type(envelope.payload).__name__,
+                msg_id=envelope.msg_id,
             )
 
     def _deliver(self, envelope, target_incarnation):
@@ -235,5 +250,7 @@ class Network:
                 "net.deliver", node=dst, src=envelope.src,
                 type=type(envelope.payload).__name__, size=envelope.size,
                 latency=self.sim.now - envelope.send_time,
+                msg_id=envelope.msg_id,
+                zxid=_payload_zxid(envelope.payload),
             )
         self._handlers[dst](envelope.src, envelope.payload)

@@ -12,16 +12,32 @@ The measurement substrate for every layer of the reproduction:
 - :mod:`repro.obs.timeline` — reconstructs per-epoch
   ``election -> sync -> broadcast`` phase spans from a trace (the
   ``repro trace`` CLI output).
+- :mod:`repro.obs.spans` — correlates commit-path events by zxid into
+  per-transaction :class:`TxnSpan` records with stage durations
+  (fsync, quorum wait, commit fan-out, per-node deliver); drives the
+  ``repro profile`` CLI.
+- :mod:`repro.obs.causality` — joins ``net.send``/``net.deliver``
+  pairs by ``msg_id`` into a happens-before DAG and answers
+  straggler / quorum-critical-follower questions.
 
 Event kinds, metric names, and the trace file format are documented in
 ``docs/OBSERVABILITY.md``.
 """
 
+from repro.obs.causality import CausalityGraph
 from repro.obs.metrics import (
     Counter,
     Gauge,
     MetricsRegistry,
     StreamingHistogram,
+)
+from repro.obs.spans import (
+    STAGE_KEYS,
+    TxnSpan,
+    build_spans,
+    profile_trace,
+    render_profile,
+    stage_histograms,
 )
 from repro.obs.timeline import (
     fault_events,
@@ -53,4 +69,11 @@ __all__ = [
     "phase_spans",
     "render_summary",
     "summarize",
+    "STAGE_KEYS",
+    "TxnSpan",
+    "build_spans",
+    "profile_trace",
+    "render_profile",
+    "stage_histograms",
+    "CausalityGraph",
 ]

@@ -125,6 +125,35 @@ class StreamingHistogram:
                 return min(estimate, self.max_seen)
         return self.max_seen
 
+    def merge(self, other):
+        """Fold *other*'s samples into this sketch (same geometry only).
+
+        Merging is exact at the bucket level — the combined sketch is
+        identical to one that observed both sample streams directly —
+        which is what lets per-follower or per-shard histograms roll up
+        into a cluster-wide one without re-observing anything.
+        """
+        if (
+            other.floor != self.floor
+            or other._log_growth != self._log_growth
+        ):
+            raise ValueError(
+                "cannot merge histograms with different floor/growth"
+            )
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self.count += other.count
+        self.total += other.total
+        if other.min_seen is not None and (
+            self.min_seen is None or other.min_seen < self.min_seen
+        ):
+            self.min_seen = other.min_seen
+        if other.max_seen is not None and (
+            self.max_seen is None or other.max_seen > self.max_seen
+        ):
+            self.max_seen = other.max_seen
+        return self
+
     def _bucket_mid(self, index):
         if index == 0:
             return self.floor

@@ -84,7 +84,13 @@ def phase_spans(events):
             election_start = None
             decided = {}
         elif kind == "peer.commit":
-            if current is not None and event.node == current["leader"]:
+            # A closed span (re-election started, leader crashed) no
+            # longer accumulates commits: a deposed leader's stale
+            # deliveries belong to no broadcasting epoch.
+            if (
+                current is not None and current["end"] is None
+                and event.node == current["leader"]
+            ):
                 current["commits"] += 1
                 if current["first_commit_at"] is None:
                     current["first_commit_at"] = event.t

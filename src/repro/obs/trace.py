@@ -27,6 +27,8 @@ Traces serialise to JSON Lines — one event object per line — via
 
 import io
 import json
+import os
+import tempfile
 
 
 class TraceEvent:
@@ -198,12 +200,35 @@ def dump_jsonl(events, destination):
 
     *destination* is a path or a writable text file object.  Returns
     the number of lines written.
+
+    Path writes are **atomic**: the lines go to a temporary file in the
+    destination's directory which is renamed over the target only once
+    every line is on disk, so an interrupted run (crash, ^C, full disk)
+    can never leave a truncated or half-written trace behind — the old
+    file, if any, survives intact.
     """
     if isinstance(events, Tracer):
         events = events.events
     if isinstance(destination, (str, bytes)):
-        with io.open(destination, "w", encoding="utf-8") as handle:
-            return dump_jsonl(events, handle)
+        destination = os.fspath(destination)
+        directory = os.path.dirname(destination) or "."
+        fd, temp_path = tempfile.mkstemp(
+            dir=directory,
+            prefix=os.path.basename(destination) + ".",
+            suffix=".tmp",
+        )
+        try:
+            with io.open(fd, "w", encoding="utf-8") as handle:
+                count = dump_jsonl(events, handle)
+                handle.flush()
+            os.replace(temp_path, destination)
+            return count
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
     count = 0
     for event in events:
         destination.write(json.dumps(event.to_dict(), sort_keys=True))

@@ -13,6 +13,7 @@ the durable suffix on recovery.
 import bisect
 
 from repro.common.errors import StorageError
+from repro.obs.trace import NULL_TRACER
 from repro.storage.records import LogRecord
 
 
@@ -41,6 +42,18 @@ class TxnLog:
         self._generation = 0      # bumped on crash to void in-flight flushes
         self._purged_through = None
         self.flushes = 0
+        self._tracer = NULL_TRACER
+        self._trace_node = None
+
+    def bind_tracer(self, tracer, node):
+        """Stamp subsequent ``log.*`` events with *tracer* as *node*.
+
+        The owning peer wires this up; the log itself stays usable
+        standalone (unit tests, tools) with the no-op default.
+        """
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace_node = node
+        return self
 
     # ------------------------------------------------------------------
     # Appending
@@ -58,8 +71,20 @@ class TxnLog:
                 "non-monotonic append: %r <= last %r" % (zxid, last)
             )
         record = LogRecord(zxid, txn, size)
+        tracer = self._tracer
+        if tracer.active:
+            tracer.emit(
+                "log.append", node=self._trace_node,
+                zxid=zxid.as_tuple(), size=size,
+                queued=len(self._pending),
+            )
         if self._disk is None:
             self._install(record)
+            if tracer.active:
+                tracer.emit(
+                    "log.durable", node=self._trace_node,
+                    zxid=zxid.as_tuple(),
+                )
             if callback is not None:
                 callback()
             return
@@ -86,8 +111,20 @@ class TxnLog:
         self._flushing = False
         self._inflight = []
         self.flushes += 1
+        tracer = self._tracer
+        if tracer.active and batch:
+            tracer.emit(
+                "log.flush", node=self._trace_node,
+                records=len(batch),
+                bytes=sum(record.size for record, _ in batch),
+            )
         for record, callback in batch:
             self._install(record)
+            if tracer.active:
+                tracer.emit(
+                    "log.durable", node=self._trace_node,
+                    zxid=record.zxid.as_tuple(),
+                )
         for _, callback in batch:
             if callback is not None:
                 callback()

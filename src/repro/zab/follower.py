@@ -276,6 +276,12 @@ class FollowerContext:
         )
 
     def _on_durable(self, zxid):
+        tracer = self.peer.tracer
+        if tracer.active:
+            tracer.emit(
+                "follower.ack", node=self.peer.peer_id,
+                zxid=zxid.as_tuple(), leader=self.leader_id,
+            )
         self.peer.send(self.leader_id, messages.Ack(zxid))
         self._deliver_committed()
 

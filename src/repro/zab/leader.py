@@ -57,13 +57,16 @@ class _FollowerHandle:
 class _Proposal:
     """An outstanding broadcast transaction awaiting quorum ACKs."""
 
-    __slots__ = ("txn", "size", "acks", "proposed_at")
+    __slots__ = ("txn", "size", "acks", "proposed_at", "quorum_at",
+                 "quorum_src")
 
     def __init__(self, txn, size, proposed_at):
         self.txn = txn
         self.size = size
         self.acks = set()
         self.proposed_at = proposed_at
+        self.quorum_at = None    # when the ACK quorum formed
+        self.quorum_src = None   # the peer whose ACK completed it
 
 
 class LeaderContext:
@@ -425,6 +428,24 @@ class LeaderContext:
             handle.last_ack = self.peer.sim.now
         self.acks_received += 1
         proposal.acks.add(src)
+        tracer = self.peer.tracer
+        if tracer.active:
+            tracer.emit(
+                "leader.ack", node=self.peer.peer_id,
+                zxid=zxid.as_tuple(), src=src,
+            )
+        if (
+            proposal.quorum_at is None
+            and self.config.quorum.contains_quorum(proposal.acks)
+        ):
+            proposal.quorum_at = self.peer.sim.now
+            proposal.quorum_src = src
+            if tracer.active:
+                tracer.emit(
+                    "leader.quorum", node=self.peer.peer_id,
+                    zxid=zxid.as_tuple(), src=src,
+                    acks=len(proposal.acks),
+                )
         self._try_commit()
 
     def _try_commit(self):
@@ -441,6 +462,13 @@ class LeaderContext:
 
     def _commit(self, zxid, proposal):
         self.commits += 1
+        tracer = self.peer.tracer
+        if tracer.active:
+            tracer.emit(
+                "leader.commit", node=self.peer.peer_id,
+                zxid=zxid.as_tuple(), acks=sorted(proposal.acks),
+                outstanding=len(self.proposals),
+            )
         commit = messages.Commit(zxid)
         inform = None
         for handle in self.handles.values():

@@ -104,6 +104,9 @@ class ZabPeer(Process):
         self.storage = storage or PeerStorage()
         self.trace = trace
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # The txn log emits its own log.append/log.durable events so the
+        # span profiler can split fsync time out of the commit path.
+        self.storage.log.bind_tracer(self.tracer, peer_id)
         self.leader_factory = leader_factory or LeaderContext
         self.is_observer = peer_id in config.observers
         self.rng = sim.random.stream("peer-%d" % peer_id)

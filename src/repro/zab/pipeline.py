@@ -10,6 +10,8 @@ default) disables batching; experiment E9 sweeps it.
 
 import collections
 
+from repro.obs.trace import NULL_TRACER
+
 
 class PendingRequest:
     """A client write waiting to become a proposal."""
@@ -43,8 +45,11 @@ class Batcher:
         self._flush_fn = flush_fn
         self._buffer = []
         self._timer = None
+        self._first_add_at = None
 
     def add(self, request):
+        if not self._buffer:
+            self._first_add_at = self._peer.sim.now
         self._buffer.append(request)
         if len(self._buffer) >= self._max_batch or self._batch_delay <= 0:
             self.flush()
@@ -64,6 +69,16 @@ class Batcher:
             self._timer = None
         batch, self._buffer = self._buffer, []
         if batch:
+            # getattr: unit tests drive the batcher with a bare stub
+            # peer that has no tracer wired up.
+            tracer = getattr(self._peer, "tracer", NULL_TRACER)
+            if tracer.active:
+                tracer.emit(
+                    "leader.batch", node=self._peer.peer_id,
+                    n=len(batch),
+                    held=self._peer.sim.now - self._first_add_at,
+                )
+            self._first_add_at = None
             self._flush_fn(batch)
 
     def close(self):

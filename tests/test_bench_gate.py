@@ -1,0 +1,266 @@
+"""Tests for BENCH_*.json reports, the regression gate, and the trace
+schema validator's correlation-field checks."""
+
+import importlib.util
+import io
+import json
+import os
+
+import pytest
+
+from repro.bench.report import (
+    SCHEMA,
+    bench_metrics,
+    load_report,
+    make_report,
+    profile_metrics,
+    write_report,
+)
+
+SCRIPTS = os.path.join(os.path.dirname(__file__), "..", "scripts")
+
+
+def load_script(name):
+    spec = importlib.util.spec_from_file_location(
+        name, os.path.join(SCRIPTS, name + ".py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def gate():
+    return load_script("check_bench_regression")
+
+
+@pytest.fixture(scope="module")
+def validator():
+    return load_script("validate_trace")
+
+
+# ---------------------------------------------------------------------------
+# Report format
+# ---------------------------------------------------------------------------
+
+def test_report_round_trip(tmp_path):
+    report = make_report("demo", {"throughput_ops": 500.0},
+                         params={"seed": 1})
+    path = str(tmp_path / "BENCH_demo.json")
+    write_report(report, path)
+    loaded = load_report(path)
+    assert loaded == report
+    assert loaded["schema"] == SCHEMA
+
+
+def test_load_report_rejects_wrong_schema(tmp_path):
+    path = str(tmp_path / "bad.json")
+    with open(path, "w") as handle:
+        json.dump({"schema": "nope/v9", "metrics": {}}, handle)
+    with pytest.raises(ValueError):
+        load_report(path)
+
+
+def test_bench_metrics_flattens_result():
+    from repro.bench.runner import run_broadcast_bench
+
+    result = run_broadcast_bench(3, duration=0.3, seed=0)
+    metrics = bench_metrics(result)
+    assert metrics["throughput_ops"] == pytest.approx(result.throughput)
+    assert metrics["committed"] == result.committed
+    assert metrics["latency.p99_ms"] > 0
+    assert metrics["net.bytes_sent"] > 0
+    assert all(
+        isinstance(value, (int, float)) for value in metrics.values()
+    )
+
+
+def test_profile_metrics_flattens_summary():
+    from repro.obs import profile_trace
+    from tests.test_obs_spans import _one_txn_trace
+
+    metrics = profile_metrics(profile_trace(_one_txn_trace()))
+    assert metrics["transactions"] == 1
+    assert metrics["stage.commit_latency.p50_ms"] == pytest.approx(6.0)
+    assert metrics["quorum_wait_fraction.mean"] == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------------------
+# Regression gate
+# ---------------------------------------------------------------------------
+
+def _write(tmp_path, name, payload):
+    path = str(tmp_path / name)
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def _baseline_payload(metrics, tolerance=0.15, tolerances=None):
+    entry = {"metrics": metrics, "tolerance": tolerance}
+    if tolerances:
+        entry["tolerances"] = tolerances
+    return {"schema": "repro-bench-baseline/v1",
+            "entries": {"smoke": entry}}
+
+
+def _report_payload(metrics):
+    return {"schema": SCHEMA, "name": "smoke", "params": {},
+            "metrics": metrics}
+
+
+def test_gate_accepts_within_tolerance(tmp_path, gate, capsys):
+    baseline = _write(tmp_path, "baseline.json",
+                      _baseline_payload({"throughput_ops": 1000.0}))
+    report = _write(tmp_path, "BENCH_smoke.json",
+                    _report_payload({"throughput_ops": 1100.0}))
+    assert gate.main([report, "--baseline", baseline]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_gate_rejects_perturbed_metric(tmp_path, gate, capsys):
+    # The acceptance case: perturb one metric past its tolerance and
+    # the gate must fail the run (in both directions).
+    baseline = _write(tmp_path, "baseline.json",
+                      _baseline_payload({"throughput_ops": 1000.0,
+                                         "latency.p99_ms": 2.0}))
+    for perturbed in (700.0, 1300.0):
+        report = _write(tmp_path, "BENCH_smoke.json", _report_payload(
+            {"throughput_ops": perturbed, "latency.p99_ms": 2.0}
+        ))
+        assert gate.main([report, "--baseline", baseline]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+def test_gate_per_metric_tolerance_override(tmp_path, gate):
+    baseline = _write(tmp_path, "baseline.json", _baseline_payload(
+        {"latency.p99_ms": 2.0},
+        tolerances={"latency.p99_ms": 0.5},
+    ))
+    report = _write(tmp_path, "BENCH_smoke.json",
+                    _report_payload({"latency.p99_ms": 2.8}))
+    assert gate.main([report, "--baseline", baseline]) == 0
+
+
+def test_gate_fails_on_missing_metric(tmp_path, gate, capsys):
+    baseline = _write(tmp_path, "baseline.json",
+                      _baseline_payload({"throughput_ops": 1000.0,
+                                         "latency.p99_ms": 2.0}))
+    report = _write(tmp_path, "BENCH_smoke.json",
+                    _report_payload({"throughput_ops": 1000.0}))
+    assert gate.main([report, "--baseline", baseline]) == 1
+    assert "MISSING" in capsys.readouterr().out
+
+
+def test_gate_zero_baseline_flags_nonzero_run(tmp_path, gate):
+    baseline = _write(tmp_path, "baseline.json",
+                      _baseline_payload({"stage.log_fsync.p50_ms": 0.0}))
+    ok = _write(tmp_path, "ok.json",
+                _report_payload({"stage.log_fsync.p50_ms": 0.0}))
+    bad = _write(tmp_path, "bad.json",
+                 _report_payload({"stage.log_fsync.p50_ms": 0.4}))
+    assert gate.main([ok, "--baseline", baseline]) == 0
+    assert gate.main([bad, "--baseline", baseline]) == 1
+
+
+def test_gate_unknown_report_name_fails(tmp_path, gate, capsys):
+    baseline = _write(tmp_path, "baseline.json", _baseline_payload({}))
+    report = _write(tmp_path, "BENCH_other.json", {
+        "schema": SCHEMA, "name": "other", "params": {}, "metrics": {},
+    })
+    assert gate.main([report, "--baseline", baseline]) == 1
+    assert "no baseline entry" in capsys.readouterr().out
+
+
+def test_gate_update_records_and_keeps_tolerances(tmp_path, gate):
+    baseline = _write(tmp_path, "baseline.json", _baseline_payload(
+        {"throughput_ops": 1000.0},
+        tolerances={"throughput_ops": 0.05},
+    ))
+    report = _write(tmp_path, "BENCH_smoke.json",
+                    _report_payload({"throughput_ops": 1200.0}))
+    assert gate.main([report, "--baseline", baseline, "--update"]) == 0
+    entry = gate.load_baseline(baseline)["entries"]["smoke"]
+    assert entry["metrics"] == {"throughput_ops": 1200.0}
+    assert entry["tolerances"] == {"throughput_ops": 0.05}
+    # The freshly recorded baseline accepts its own run.
+    assert gate.main([report, "--baseline", baseline]) == 0
+
+
+def test_committed_baseline_has_smoke_entry(gate):
+    baseline = gate.load_baseline(gate.DEFAULT_BASELINE)
+    entry = baseline["entries"]["smoke"]
+    assert entry["metrics"]["committed"] > 0
+    assert entry["metrics"]["throughput_ops"] > 0
+    assert "stage.quorum_wait.p99_ms" in entry["metrics"]
+
+
+# ---------------------------------------------------------------------------
+# Trace validator: correlation fields
+# ---------------------------------------------------------------------------
+
+def _line(kind, fields, t=0.5, node=1):
+    return json.dumps(
+        {"t": t, "node": node, "kind": kind, "fields": fields}
+    )
+
+
+def test_validator_accepts_new_commit_path_kinds(validator):
+    lines = [
+        _line("leader.propose", {"zxid": [1, 1], "size": 64}),
+        _line("log.append", {"zxid": [1, 1], "size": 64, "queued": 0}),
+        _line("log.durable", {"zxid": [1, 1]}),
+        _line("log.flush", {"records": 1, "bytes": 64}),
+        _line("follower.ack", {"zxid": [1, 1], "leader": 1}, node=2),
+        _line("leader.ack", {"zxid": [1, 1], "src": 2}),
+        _line("leader.quorum", {"zxid": [1, 1], "src": 2, "acks": 2}),
+        _line("leader.commit", {"zxid": [1, 1], "acks": [1, 2]}),
+        _line("leader.batch", {"n": 4, "held": 0.001}),
+        _line("net.send", {"dst": 2, "type": "Propose", "size": 64,
+                           "msg_id": 1, "zxid": [1, 1]}),
+        _line("net.deliver", {"src": 1, "type": "Propose", "size": 64,
+                              "latency": 0.001, "msg_id": 1,
+                              "zxid": [1, 1]}, node=2),
+        _line("net.drop", {"reason": "crash", "src": 1, "dst": 2,
+                           "type": "Ack", "msg_id": 2}),
+    ]
+    counts = validator.validate(io.StringIO("\n".join(lines)))
+    assert counts["leader.quorum"] == 1
+    assert counts["net.drop"] == 1
+
+
+@pytest.mark.parametrize("kind,fields", [
+    ("leader.propose", {"size": 64}),                   # zxid missing
+    ("leader.ack", {"zxid": [1], "src": 2}),            # malformed zxid
+    ("peer.commit", {"zxid": [1, -2]}),                 # negative counter
+    ("log.durable", {"zxid": "1:1"}),                   # wrong type
+    ("net.send", {"dst": 2, "type": "Ping"}),           # msg_id missing
+    ("net.deliver", {"src": 1, "msg_id": 0}),           # non-positive id
+    ("net.drop", {"reason": "x", "msg_id": True}),      # bool is not int
+])
+def test_validator_rejects_bad_correlation_fields(validator, kind, fields):
+    with pytest.raises(ValueError):
+        validator.validate(io.StringIO(_line(kind, fields)))
+
+
+def test_validator_still_rejects_unknown_kinds(validator):
+    with pytest.raises(ValueError) as excinfo:
+        validator.validate(io.StringIO(_line("leader.teleport", {})))
+    assert "undocumented kind" in str(excinfo.value)
+
+
+def test_validator_accepts_real_profile_dump(tmp_path, validator):
+    from repro.harness.scenarios import crash_recovery_timeline
+    from repro.obs import Tracer, dump_jsonl
+
+    tracer = Tracer()
+    crash_recovery_timeline(
+        n_voters=3, seed=1, rate=200, duration=0.5, tracer=tracer,
+        follower_crash_at=None, leader_crash_at=None, recover_at=None,
+    )
+    path = str(tmp_path / "profile.jsonl")
+    dump_jsonl(tracer, path)
+    with open(path) as handle:
+        counts = validator.validate(handle)
+    assert counts["leader.quorum"] == counts["leader.commit"]
+    assert counts["net.send"] >= counts["net.deliver"]

@@ -30,6 +30,60 @@ def test_bench_prints_summary(capsys):
     assert "properties:   OK" in out
 
 
+def test_bench_json_report(capsys, tmp_path):
+    from repro.bench.report import load_report
+
+    path = str(tmp_path / "BENCH_bench.json")
+    assert main(["bench", "--servers", "3", "--duration", "0.3",
+                 "--json", path]) == 0
+    report = load_report(path)
+    assert report["name"] == "bench"
+    assert report["metrics"]["throughput_ops"] > 0
+    assert report["params"]["n_voters"] == 3
+
+
+def test_profile_reports_stage_breakdown(capsys, tmp_path):
+    from repro.bench.report import load_report
+
+    trace = str(tmp_path / "profile.jsonl")
+    report_path = str(tmp_path / "BENCH_smoke.json")
+    assert main(["profile", "--servers", "5", "--seed", "3",
+                 "--rate", "300", "--duration", "1.0", "--net",
+                 "-o", trace, "--json", report_path,
+                 "--name", "smoke"]) == 0
+    out = capsys.readouterr().out
+    # Per-transaction stage breakdown from the replayed trace.
+    assert "commit-path stage breakdown" in out
+    assert "quorum_wait" in out
+    assert "quorum wait:" in out            # quorum-wait fraction line
+    assert "per-follower ACK anatomy" in out
+    assert "slowest ACK" in out             # slowest-follower lag column
+    assert "critical path" in out
+    report = load_report(report_path)
+    assert report["name"] == "smoke"
+    assert report["metrics"]["committed"] > 0
+    assert report["metrics"]["stage.quorum_wait.p99_ms"] > 0
+    assert report["params"]["servers"] == 5
+
+
+def test_profile_replays_existing_trace(capsys, tmp_path):
+    trace = str(tmp_path / "profile.jsonl")
+    assert main(["profile", "--servers", "3", "--seed", "1",
+                 "--rate", "200", "--duration", "0.5",
+                 "-o", trace]) == 0
+    capsys.readouterr()
+    assert main(["profile", "--trace", trace]) == 0
+    out = capsys.readouterr().out
+    assert "commit-path stage breakdown" in out
+
+
+def test_profile_empty_trace_errors(capsys, tmp_path):
+    trace = tmp_path / "empty.jsonl"
+    trace.write_text("")
+    assert main(["profile", "--trace", str(trace)]) == 1
+    assert "nothing to profile" in capsys.readouterr().err
+
+
 def test_fuzz_clean_exit(capsys):
     assert main(["fuzz", "--servers", "3", "--seed", "1",
                  "--steps", "2"]) == 0

@@ -286,3 +286,157 @@ def test_summarize_counts_and_faults():
     t, description = summary["faults"][0]
     assert t == 2.00
     assert "crash" in description
+
+
+def test_phase_spans_interleaved_elections_and_out_of_order_epochs():
+    """Concurrent candidates + a stale commit from the deposed leader.
+
+    Two nodes decide on different leaders during the same election
+    window, only one establishes, and the old leader's last
+    ``peer.commit`` arrives after the new epoch has started — the
+    reconstruction must attribute commits to the broadcasting epoch
+    and time the election from its *first* start event.
+    """
+    raw = [
+        (0.00, 1, "election.start", {"round": 1}),
+        (0.05, 2, "election.start", {"round": 1}),      # concurrent
+        (0.20, 1, "election.decided", {"leader": 3, "round": 1}),
+        (0.22, 2, "election.decided", {"leader": 2, "round": 1}),
+        (0.30, 3, "leader.established", {"epoch": 1}),
+        (0.40, 3, "peer.commit", {"zxid": [1, 1]}),
+        (2.00, 1, "election.start", {"round": 2}),
+        (2.05, 3, "peer.commit", {"zxid": [1, 2]}),     # after close: lost
+        (2.40, 1, "election.decided", {"leader": 2, "round": 2}),
+        (2.50, 2, "leader.established", {"epoch": 2}),
+        (2.55, 3, "peer.commit", {"zxid": [1, 3]}),     # stale old leader
+        (2.60, 2, "peer.commit", {"zxid": [2, 1]}),
+    ]
+    events = [TraceEvent(t, node, kind, fields)
+              for t, node, kind, fields in raw]
+    first, second = phase_spans(events)
+
+    assert first["epoch"] == 1 and first["leader"] == 3
+    # Election timed from the first start to the *winner's* decided.
+    assert first["election_s"] == pytest.approx(0.20)
+    assert first["end"] == 2.00          # closed when re-election began
+    assert first["commits"] == 1         # t=2.05 / t=2.55 not counted
+
+    assert second["epoch"] == 2 and second["leader"] == 2
+    assert second["commits"] == 1        # only the new leader's commit
+    assert second["election_s"] == pytest.approx(0.40)
+    assert second["end"] == 2.60         # trace end
+
+
+def test_phase_spans_establish_without_observed_election():
+    # A trace window that opens mid-broadcast: established but no
+    # election events. Timing fields degrade to None, not a crash.
+    events = [
+        TraceEvent(1.0, 4, "leader.established", {"epoch": 7}),
+        TraceEvent(1.5, 4, "peer.commit", {"zxid": [7, 1]}),
+    ]
+    (span,) = phase_spans(events)
+    assert span["epoch"] == 7
+    assert span["election_start"] is None
+    assert span["election_s"] is None
+    assert span["sync_s"] is None
+    assert span["commits"] == 1
+
+
+# ---------------------------------------------------------------------------
+# StreamingHistogram edge cases
+# ---------------------------------------------------------------------------
+
+def test_histogram_empty_snapshot():
+    assert StreamingHistogram().snapshot() == {"count": 0}
+
+
+def test_histogram_single_sample_quantiles():
+    histogram = StreamingHistogram()
+    histogram.observe(0.125)
+    assert histogram.quantile(0.0) == pytest.approx(0.125)
+    assert histogram.quantile(0.5) == pytest.approx(0.125)
+    assert histogram.quantile(1.0) == pytest.approx(0.125)
+    snapshot = histogram.snapshot()
+    assert snapshot["count"] == 1
+    assert snapshot["p50"] == snapshot["p99"] == pytest.approx(0.125)
+    assert snapshot["min"] == snapshot["max"] == 0.125
+
+
+def test_histogram_bucket_boundary_quantiles():
+    # Two samples, three decades apart: any interior quantile must come
+    # from one of the two occupied buckets, and the 0/1 extremes must
+    # clamp exactly to the observed min/max.
+    histogram = StreamingHistogram()
+    histogram.observe(1e-3)
+    histogram.observe(1.0)
+    assert histogram.quantile(0.0) == pytest.approx(1e-3, rel=0.05)
+    assert histogram.quantile(1.0) == pytest.approx(1.0, rel=0.05)
+    assert histogram.quantile(1.0) <= histogram.max_seen
+    p50 = histogram.quantile(0.5)
+    assert p50 == pytest.approx(1e-3, rel=0.05) or \
+        p50 == pytest.approx(1.0, rel=0.05)
+
+
+def test_histogram_merge_matches_direct_observation():
+    left, right, direct = (StreamingHistogram() for _ in range(3))
+    rng = random.Random(42)
+    for _ in range(500):
+        value = rng.lognormvariate(-6, 1.5)
+        (left if rng.random() < 0.5 else right).observe(value)
+        direct.observe(value)
+    left.merge(right)
+    assert left.count == direct.count == 500
+    merged, reference = left.snapshot(), direct.snapshot()
+    # Bucket counts merge exactly, so every quantile is identical; the
+    # mean only matches to float addition-order precision.
+    for key in ("count", "p50", "p95", "p99", "min", "max"):
+        assert merged[key] == reference[key]
+    assert merged["mean"] == pytest.approx(reference["mean"])
+
+
+def test_histogram_merge_empty_and_into_empty():
+    empty = StreamingHistogram()
+    full = StreamingHistogram()
+    full.observe(0.5)
+    full.merge(empty)                      # no-op
+    assert full.snapshot()["count"] == 1
+    empty.merge(full)
+    assert empty.snapshot() == full.snapshot()
+
+
+def test_histogram_merge_rejects_different_geometry():
+    with pytest.raises(ValueError):
+        StreamingHistogram().merge(StreamingHistogram(floor=1e-6))
+    with pytest.raises(ValueError):
+        StreamingHistogram().merge(StreamingHistogram(growth=1.1))
+
+
+# ---------------------------------------------------------------------------
+# Atomic JSONL dumps
+# ---------------------------------------------------------------------------
+
+def test_dump_jsonl_failure_preserves_existing_file(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    dump_jsonl([TraceEvent(0.0, 1, "peer.state", {"ok": True})], str(path))
+    before = path.read_text()
+
+    # A mid-dump serialisation failure (object() is not JSON-safe) must
+    # leave the previous dump untouched and clean up its temp file.
+    bad = [
+        TraceEvent(1.0, 1, "peer.state", {}),
+        TraceEvent(2.0, 1, "peer.state", {"payload": object()}),
+    ]
+    with pytest.raises(TypeError):
+        dump_jsonl(bad, str(path))
+    assert path.read_text() == before
+    assert list(tmp_path.iterdir()) == [path]
+
+
+def test_dump_jsonl_creates_file_atomically(tmp_path):
+    path = tmp_path / "fresh.jsonl"
+    events = [TraceEvent(float(i), 1, "peer.state", {"i": i})
+              for i in range(3)]
+    assert dump_jsonl(events, str(path)) == 3
+    assert load_jsonl(str(path)) == events
+    # No temp droppings next to the output.
+    assert list(tmp_path.iterdir()) == [path]

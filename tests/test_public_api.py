@@ -13,6 +13,7 @@ SUPPORTED = [
     "Cluster", "Client", "FaultSchedule", "ActionSchedule",
     "run_broadcast_bench", "check_all", "Tracer", "MetricsRegistry",
     "replay_schedule", "shrink_schedule",
+    "TxnSpan", "build_spans", "profile_trace", "CausalityGraph",
 ]
 
 
