@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Tier-1 line-coverage gate with zero third-party dependencies.
+
+The container deliberately ships no ``coverage`` package, so this script
+carries its own measurement: a ``sys.settrace`` hook that records every
+executed line in ``src/repro`` while the tier-1 pytest suite runs
+in-process.  The denominator — the set of executable lines per file —
+comes from compiling each source file and walking the code objects'
+``co_lines()`` tables, which is the same notion of "line" the tracer
+reports.
+
+The committed floor lives in ``scripts/coverage_floor.json``.  The gate
+fails when total coverage drops below it, which catches the classic
+regression of landing a subsystem without tests.  It does *not* ratchet
+automatically; raise the floor deliberately with ``--update`` after
+coverage genuinely improves.
+
+Usage:
+    python scripts/check_coverage.py            # measure + gate
+    python scripts/check_coverage.py --update   # rewrite the floor
+    python scripts/check_coverage.py --report   # per-file table too
+"""
+
+import argparse
+import json
+import os
+import sys
+import threading
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src", "repro")
+FLOOR_PATH = os.path.join(REPO, "scripts", "coverage_floor.json")
+#: Slack (in percentage points) between a measured run and the floor it
+#: writes — keeps the gate from flapping on trivially shifting tests.
+UPDATE_SLACK = 2.0
+
+
+def iter_source_files():
+    for root, _dirs, files in os.walk(SRC):
+        for name in sorted(files):
+            if name.endswith(".py"):
+                yield os.path.join(root, name)
+
+
+def executable_lines(path):
+    """All line numbers that can emit a trace event, per co_lines()."""
+    with open(path, "r") as handle:
+        source = handle.read()
+    try:
+        top = compile(source, path, "exec")
+    except SyntaxError:
+        return set()
+    lines = set()
+    stack = [top]
+    while stack:
+        code = stack.pop()
+        for _start, _end, line in code.co_lines():
+            if line is not None:
+                lines.add(line)
+        for const in code.co_consts:
+            if hasattr(const, "co_lines"):
+                stack.append(const)
+    return lines
+
+
+class LineCollector:
+    """A settrace hook that only pays for frames inside src/repro."""
+
+    def __init__(self):
+        self.executed = {}  # filename -> set of line numbers
+
+    def _local(self, frame, event, _arg):
+        if event == "line":
+            self.executed[frame.f_code.co_filename].add(frame.f_lineno)
+        return self._local
+
+    def global_trace(self, frame, event, _arg):
+        if event != "call":
+            return None
+        filename = frame.f_code.co_filename
+        if not filename.startswith(SRC):
+            return None  # no local tracing: non-repro frames cost ~nothing
+        self.executed.setdefault(filename, set())
+        return self._local
+
+    def install(self):
+        threading.settrace(self.global_trace)
+        sys.settrace(self.global_trace)
+
+    def uninstall(self):
+        sys.settrace(None)
+        threading.settrace(None)
+
+
+def run_tier1_under_trace():
+    import pytest
+
+    collector = LineCollector()
+    collector.install()
+    try:
+        exit_code = pytest.main(["-q", "-p", "no:cacheprovider"])
+    finally:
+        collector.uninstall()
+    if exit_code != 0:
+        print("tier-1 suite FAILED (exit %d); coverage not gated" % exit_code)
+        raise SystemExit(exit_code)
+    return collector.executed
+
+
+def measure(executed):
+    per_file = {}
+    total_lines = total_hit = 0
+    for path in iter_source_files():
+        lines = executable_lines(path)
+        if not lines:
+            continue
+        hit = executed.get(path, set()) & lines
+        relative = os.path.relpath(path, REPO)
+        per_file[relative] = (len(hit), len(lines))
+        total_hit += len(hit)
+        total_lines += len(lines)
+    percent = 100.0 * total_hit / total_lines if total_lines else 0.0
+    return percent, per_file
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed floor from this run")
+    parser.add_argument("--report", action="store_true",
+                        help="print the per-file coverage table")
+    args = parser.parse_args(argv)
+
+    os.chdir(REPO)
+    sys.path.insert(0, os.path.join(REPO, "src"))
+    executed = run_tier1_under_trace()
+    percent, per_file = measure(executed)
+
+    if args.report:
+        width = max(len(name) for name in per_file)
+        for name, (hit, lines) in sorted(
+            per_file.items(), key=lambda item: item[1][0] / item[1][1]
+        ):
+            print("%-*s %5d/%5d  %5.1f%%"
+                  % (width, name, hit, lines, 100.0 * hit / lines))
+
+    print("total tier-1 line coverage: %.1f%%" % percent)
+    if args.update:
+        floor = round(percent - UPDATE_SLACK, 1)
+        with open(FLOOR_PATH, "w") as handle:
+            json.dump({"floor_percent": floor,
+                       "measured_percent": round(percent, 1)}, handle,
+                      indent=2)
+            handle.write("\n")
+        print("floor updated to %.1f%% (measured %.1f%% - %.1f slack)"
+              % (floor, percent, UPDATE_SLACK))
+        return 0
+
+    with open(FLOOR_PATH) as handle:
+        floor = json.load(handle)["floor_percent"]
+    if percent < floor:
+        print("FAIL: coverage %.1f%% fell below the committed floor %.1f%%"
+              % (percent, floor))
+        print("(raise tests, or lower the floor deliberately with --update)")
+        return 1
+    print("OK: floor is %.1f%%" % floor)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

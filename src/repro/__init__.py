@@ -30,6 +30,7 @@ from repro.harness import (
     replay_schedule,
     shrink_schedule,
 )
+from repro.mc import ExplorationResult, ExplorerConfig, explore_schedules
 from repro.obs import (
     CausalityGraph,
     MetricsRegistry,
@@ -48,6 +49,9 @@ __all__ = [
     "ActionSchedule",
     "replay_schedule",
     "shrink_schedule",
+    "explore_schedules",
+    "ExplorerConfig",
+    "ExplorationResult",
     "run_broadcast_bench",
     "check_all",
     "Trace",

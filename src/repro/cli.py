@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro trace -o trace.jsonl   # traced crash/recovery timeline
     python -m repro profile --servers 5    # commit-path stage breakdown
     python -m repro fuzz --seed 7          # random fault injection + check
+    python -m repro explore --depth 8      # bounded exhaustive fault search
     python -m repro shrink --seed 7        # replay + ddmin-minimize a failure
     python -m repro info                   # inventory
 
@@ -312,9 +313,15 @@ def cmd_shrink(args):
 
     leader_factory = None
     if args.buggy:
-        from repro.harness.buggy import BuggyLeaderContext
+        from repro.harness.buggy import SEEDED_BUGS
 
-        leader_factory = BuggyLeaderContext
+        bug = SEEDED_BUGS.get(args.buggy)
+        if bug is None:
+            print("unknown seeded bug %r; choose from: %s"
+                  % (args.buggy, ", ".join(sorted(SEEDED_BUGS))),
+                  file=sys.stderr)
+            return 2
+        leader_factory = bug.factory
 
     if args.schedule:
         schedule = ActionSchedule.load(args.schedule)
@@ -381,10 +388,10 @@ def cmd_shrink(args):
             "schedule_json": result.schedule.dumps(indent=2),
             "signature": first.signature,
             "factory_import":
-                "from repro.harness.buggy import BuggyLeaderContext\n"
-                if args.buggy else "",
+                "from repro.harness.buggy import %s\n"
+                % leader_factory.__name__ if args.buggy else "",
             "factory_kwarg":
-                ", leader_factory=BuggyLeaderContext"
+                ", leader_factory=%s" % leader_factory.__name__
                 if args.buggy else "",
         })
     print("artifacts in %s/:" % out_dir)
@@ -395,6 +402,96 @@ def cmd_shrink(args):
     print("  %s      pytest snippet for tests/corpus/"
           % os.path.basename(test_path))
     return 1
+
+
+def cmd_explore(args):
+    import json
+    import os
+
+    from repro.mc import ExplorerConfig, Explorer
+
+    leader_factory = None
+    if args.buggy:
+        from repro.harness.buggy import SEEDED_BUGS
+
+        bug = SEEDED_BUGS.get(args.buggy)
+        if bug is None:
+            print("unknown seeded bug %r; choose from: %s"
+                  % (args.buggy, ", ".join(sorted(SEEDED_BUGS))),
+                  file=sys.stderr)
+            return 2
+        leader_factory = bug.factory
+
+    config = ExplorerConfig(
+        peers=args.peers,
+        depth=args.depth,
+        seed=args.seed,
+        step_interval=args.step_interval,
+        op_interval=args.op_interval,
+        max_schedules=args.max_schedules,
+        max_states=args.max_states,
+        max_violations=args.max_violations,
+        interleave=args.interleave,
+        jitter=0.0 if args.interleave else None,
+        leader_factory=leader_factory,
+    )
+
+    def progress(result):
+        if result.runs and result.runs % 50 == 0:
+            print("... %d runs, %d states, %d violations, frontier %d"
+                  % (result.runs, result.states_visited,
+                     len(result.violations), result.frontier_left),
+                  file=sys.stderr)
+
+    result = Explorer(config, progress=progress).run()
+
+    print("explored %d schedules over %d distinct states "
+          "(depth %d, %d peers, seed %d)"
+          % (result.runs, result.states_visited, args.depth, args.peers,
+             args.seed))
+    print("pruning:  %d revisits skipped, %d commuting orderings skipped,"
+          " %d choice points" % (result.states_pruned, result.por_skipped,
+                                 result.choice_points))
+    if result.exhausted:
+        print("frontier: exhausted (complete to depth %d)" % args.depth)
+    else:
+        # Budget stops are loud, never silent: say what tripped and how
+        # much of the frontier was left standing.
+        print("frontier: STOPPED on %s with %d unexplored prefixes"
+              % (result.stopped_reason, result.frontier_left))
+    for prefix, error in result.errors:
+        print("error on prefix %s: %s" % (list(prefix), error))
+
+    if result.violations:
+        out_dir = args.out or "explore-results"
+        os.makedirs(out_dir, exist_ok=True)
+        for index, violation in enumerate(result.violations):
+            path = violation.schedule.save(
+                os.path.join(out_dir, "violation-%d.json" % index)
+            )
+            print("violation %d (%sconfirmed by replay): %s"
+                  % (index, "" if violation.confirmed else "NOT ",
+                     ", ".join(sorted({prop for prop, _zxid
+                                       in violation.signature}))))
+            for action in violation.schedule:
+                print("  t=%-6.2f %s %s"
+                      % (action.time, action.kind,
+                         "" if action.target is None else action.target))
+            print("  saved %s" % path)
+            print("  minimize: repro shrink --schedule %s%s"
+                  % (path, " --buggy %s" % args.buggy if args.buggy
+                     else ""))
+    else:
+        print("violations: none")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(result.to_json(), f, indent=2)
+            f.write("\n")
+        print("summary: %s" % args.json)
+    if result.errors:
+        return 2
+    return 1 if result.violations else 0
 
 
 def cmd_campaign(args):
@@ -510,9 +607,11 @@ def build_parser():
     p_shrink.add_argument("--schedule", default=None,
                           help="shrink a schedule JSON file instead of "
                                "generating one from --seed")
-    p_shrink.add_argument("--buggy", action="store_true",
-                          help="inject the BuggyLeader fixture (commits "
-                               "without a quorum) to demo the pipeline")
+    p_shrink.add_argument("--buggy", nargs="?", const="quorum_skip",
+                          default=None, metavar="NAME",
+                          help="inject a seeded bug from "
+                               "repro.harness.buggy (bare flag means "
+                               "quorum_skip, the BuggyLeader fixture)")
     p_shrink.add_argument("--mode", choices=["kinds", "any"],
                           default="kinds",
                           help="what counts as reproducing: same violated "
@@ -521,6 +620,39 @@ def build_parser():
                           help="artifact directory "
                                "(default repro-seed-<N>)")
     p_shrink.set_defaults(fn=cmd_shrink)
+
+    p_explore = sub.add_parser(
+        "explore",
+        help="bounded exhaustive model checking: every fault schedule "
+             "to a depth bound, PO properties checked on each",
+    )
+    p_explore.add_argument("--peers", type=int, default=3)
+    p_explore.add_argument("--depth", type=int, default=8,
+                           help="fault decision points per execution")
+    p_explore.add_argument("--seed", type=int, default=0)
+    p_explore.add_argument("--step-interval", type=float, default=0.25)
+    p_explore.add_argument("--op-interval", type=float, default=0.02,
+                           help="client load period (0 disables load)")
+    p_explore.add_argument("--max-schedules", type=int, default=256,
+                           help="execution budget (stop is reported, "
+                                "never silent)")
+    p_explore.add_argument("--max-states", type=int, default=4096,
+                           help="distinct-fingerprint budget")
+    p_explore.add_argument("--max-violations", type=int, default=1,
+                           help="stop after N distinct violations "
+                                "(0 = search to the budget)")
+    p_explore.add_argument("--interleave", action="store_true",
+                           help="also branch over same-timestamp message "
+                                "delivery orderings (implies zero jitter)")
+    p_explore.add_argument("--buggy", default=None, metavar="NAME",
+                           help="plant a seeded bug from "
+                                "repro.harness.buggy (e.g. quorum_skip)")
+    p_explore.add_argument("--json", default=None, metavar="PATH",
+                           help="write the JSON exploration summary here")
+    p_explore.add_argument("-o", "--out", default=None,
+                           help="directory for violating schedules "
+                                "(default explore-results)")
+    p_explore.set_defaults(fn=cmd_explore)
 
     p_campaign = sub.add_parser(
         "campaign",

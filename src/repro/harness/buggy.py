@@ -1,16 +1,17 @@
-"""Deliberately broken protocol variants for exercising the shrinker.
+"""Deliberately broken protocol variants and the seeded-bug registry.
 
-The failure-reproduction pipeline (schedule -> replay -> ddmin) needs a
-known-bad protocol to prove itself against: correct Zab never violates
-the PO properties, so there would be nothing to shrink.
-:class:`BuggyLeaderContext` is the canonical plant — a leader that skips
-the quorum ACK-count check and commits a proposal as soon as *any*
-single acknowledgement (usually its own local fsync) arrives.  Crash
-that leader, or cut it off from the quorum while load flows, and it
-delivers transactions the rest of the ensemble never saw — a
-total-order violation the checker pins to an exact zxid.
+The failure-reproduction pipeline (schedule -> replay -> ddmin) and the
+bounded explorer (:mod:`repro.mc`) both need known-bad protocols to
+prove themselves against: correct Zab never violates the PO properties,
+so there would be nothing to find, shrink, or regression-test the
+*checker itself* with.  Each class here plants one specific, realistic
+protocol bug, and :data:`SEEDED_BUGS` records — per bug — the exact set
+of PO properties it must trip and a canonical fault schedule that
+triggers it deterministically.  The corpus tests assert the checker
+flags exactly that set and no others, so the oracle is itself under
+regression test.
 
-Inject it through the ``leader_factory`` seam::
+Inject any of them through the ``leader_factory`` seam::
 
     from repro import Cluster
     from repro.harness.buggy import BuggyLeaderContext
@@ -18,7 +19,9 @@ Inject it through the ``leader_factory`` seam::
     cluster = Cluster(3, seed=7, leader_factory=BuggyLeaderContext)
 """
 
+from repro.harness.schedule import ActionSchedule
 from repro.zab.leader import LeaderContext
+from repro.zab.zxid import Zxid
 
 
 class BuggyLeaderContext(LeaderContext):
@@ -43,3 +46,157 @@ class BuggyLeaderContext(LeaderContext):
             committed_any = True
         if committed_any:
             self._drain_pending()
+
+
+class _RelabelingTrace:
+    """Trace proxy that skews the zxid of recorded broadcasts."""
+
+    def __init__(self, trace):
+        self._trace = trace
+
+    def record_broadcast(self, process, epoch, zxid, txn_id):
+        skewed = Zxid(zxid.epoch, zxid.counter + 1000)
+        self._trace.record_broadcast(process, epoch, skewed, txn_id)
+
+    def __getattr__(self, name):
+        return getattr(self._trace, name)
+
+
+class RelabelingLeaderContext(LeaderContext):
+    """A leader whose broadcast records carry the wrong transaction id.
+
+    Models a bookkeeping bug where the id a transaction is *announced*
+    under differs from the id it is *delivered* under (the zxid counter
+    is skewed by 1000 at broadcast-record time).  Pure metadata rot: the
+    replicated state stays consistent, so the one and only property it
+    can trip is **integrity** ("delivered under a different identifier
+    than broadcast") — and it trips on the very first committed write,
+    no fault injection needed.
+    """
+
+    def _propose(self, request):
+        real = self.peer.trace
+        if real is not None:
+            self.peer.trace = _RelabelingTrace(real)
+        try:
+            LeaderContext._propose(self, request)
+        finally:
+            self.peer.trace = real
+
+
+class CommitSkipLeaderContext(LeaderContext):
+    """A leader that silently drops every k-th commit notification.
+
+    The proposal reaches quorum and leaves the outstanding window, but
+    neither the COMMIT fan-out nor the leader's own local delivery
+    happens.  Followers self-heal — the *next* commit moves their
+    frontier past the gap and they deliver the skipped transaction from
+    their logs — but the leader's own delivered sequence is forever
+    missing one entry, so its positions disagree with everyone else's
+    from that point on.
+    """
+
+    skip_every = 5
+
+    def __init__(self, peer):
+        LeaderContext.__init__(self, peer)
+        self._commit_calls = 0
+
+    def _commit(self, zxid, proposal):
+        self._commit_calls += 1
+        if self._commit_calls % self.skip_every == 0:
+            return  # BUG: quorum reached, commit never announced
+        LeaderContext._commit(self, zxid, proposal)
+
+
+class PositionSkipLeaderContext(LeaderContext):
+    """A leader whose delivery-index counter jumps over a slot.
+
+    Before its k-th commit the leader bumps its global delivery position
+    by one without delivering anything — the classic off-by-one in an
+    index counter.  Its history then has a hole (**agreement**: positions
+    must be gapless) and every later delivery sits one slot later than
+    the same transaction on the followers (**total order**: two processes
+    disagree about what a position holds).
+    """
+
+    skip_at = 3
+
+    def __init__(self, peer):
+        LeaderContext.__init__(self, peer)
+        self._commit_calls = 0
+
+    def _commit(self, zxid, proposal):
+        self._commit_calls += 1
+        if self._commit_calls == self.skip_at:
+            self.peer.position += 1  # BUG: phantom slot in the index
+        LeaderContext._commit(self, zxid, proposal)
+
+
+class SeededBug:
+    """One registry entry: the plant, its oracle, and its trigger."""
+
+    __slots__ = ("name", "factory", "expected", "description", "_actions")
+
+    def __init__(self, name, factory, expected, description, actions=()):
+        self.name = name
+        self.factory = factory
+        self.expected = frozenset(expected)
+        self.description = description
+        self._actions = tuple(actions)
+
+    def canonical_schedule(self, seed=0, n_voters=3, op_interval=0.02):
+        """A fresh copy of the pinned schedule that triggers this bug."""
+        schedule = ActionSchedule(meta={
+            "seed": seed,
+            "n_voters": n_voters,
+            "op_interval": op_interval,
+        })
+        for time, kind, target in self._actions:
+            schedule.add(time, kind, target)
+        return schedule
+
+
+#: name -> :class:`SeededBug`.  The checker self-test corpus iterates
+#: this; adding a buggy variant without registering it here fails the
+#: corpus completeness test.
+SEEDED_BUGS = {
+    bug.name: bug
+    for bug in [
+        SeededBug(
+            "quorum_skip",
+            BuggyLeaderContext,
+            expected={
+                "local_primary_order", "primary_integrity", "total_order",
+            },
+            description="commits on any single ACK instead of a quorum; "
+                        "isolating the leader mid-load loses its "
+                        "premature commits",
+            # Pinned to the seed-0 election outcome (peer 3 leads); the
+            # corpus test fails loudly if that ever changes.
+            actions=[(0.25, "partition", [[3]]), (0.75, "heal", None)],
+        ),
+        SeededBug(
+            "zxid_relabel",
+            RelabelingLeaderContext,
+            expected={"integrity"},
+            description="broadcast records carry a skewed zxid, so "
+                        "deliveries never match their announcement",
+        ),
+        SeededBug(
+            "commit_skip",
+            CommitSkipLeaderContext,
+            expected={"local_primary_order", "total_order"},
+            description="every 5th COMMIT is swallowed; followers "
+                        "self-heal via the commit frontier but the "
+                        "leader's history keeps a hole",
+        ),
+        SeededBug(
+            "position_skip",
+            PositionSkipLeaderContext,
+            expected={"agreement", "local_primary_order", "total_order"},
+            description="the leader's delivery index jumps a slot, "
+                        "shifting every later delivery off by one",
+        ),
+    ]
+}

@@ -1,0 +1,37 @@
+"""Bounded exhaustive model checking over the virtual-time simulator.
+
+``repro.mc`` turns the random fault campaign's sampling into systematic
+coverage: it enumerates every fault-decision sequence up to a depth
+bound (optionally also same-timestamp message-delivery orderings, via
+the kernel's :class:`~repro.sim.kernel.SchedulePolicy` seam), prunes
+revisited abstract states by fingerprint, skips commuting delivery
+pairs, and runs the PO property checker over every terminal state.
+Violations come out as ordinary
+:class:`~repro.harness.schedule.ActionSchedule` objects, so the
+existing ``repro shrink`` ddmin pipeline and replay engine minimize and
+reproduce them with zero new plumbing.
+"""
+
+from repro.mc.choices import Chooser, DfsFrontier, DivergentReplayError
+from repro.mc.explorer import (
+    ExplorationResult,
+    Explorer,
+    ExplorerConfig,
+    Violation,
+    explore_schedules,
+)
+from repro.mc.fingerprint import cluster_fingerprint
+from repro.mc.policy import InterleavingPolicy
+
+__all__ = [
+    "Chooser",
+    "DfsFrontier",
+    "DivergentReplayError",
+    "ExplorationResult",
+    "Explorer",
+    "ExplorerConfig",
+    "InterleavingPolicy",
+    "Violation",
+    "cluster_fingerprint",
+    "explore_schedules",
+]

@@ -1,0 +1,445 @@
+"""Bounded exhaustive exploration of fault schedules.
+
+The explorer walks *every* sequence of fault-injection decisions up to a
+depth bound, instead of sampling them the way the random campaign does.
+One node of the search tree is a full deterministic execution: boot a
+fresh cluster, apply the decision prefix, take index-0 defaults beyond
+it, quiesce, and run the PO property checker over the whole history.
+Untaken alternatives recorded along the way become new prefixes on a
+depth-first frontier.
+
+Crucially, an execution here is *line-for-line the same recipe* as
+:func:`repro.harness.replay.replay_schedule` — same boot, same client
+load, same action timing, same quiesce.  That is what lets a violating
+run be emitted as a plain :class:`~repro.harness.schedule.ActionSchedule`
+that the existing ``repro shrink`` ddmin machinery and replay engine
+consume with zero new plumbing, and it is why every reported violation
+is re-verified through an actual ``replay_schedule`` call before the
+explorer vouches for it.
+
+Budgets are explicit and loud: when the run stops on ``max_schedules``
+or ``max_states`` the result says so and reports how many frontier
+prefixes were left unexplored — no silent caps.
+"""
+
+from repro.harness.cluster import Cluster
+from repro.harness.replay import replay_schedule, violation_signature
+from repro.harness.schedule import Action, ActionSchedule, apply_action
+from repro.mc.choices import Chooser, DfsFrontier
+from repro.mc.fingerprint import cluster_fingerprint
+from repro.mc.policy import InterleavingPolicy
+
+#: Decision-point option meaning "inject nothing this step".
+NOOP = ("noop", None)
+
+
+class ExplorerConfig:
+    """Knobs of one exploration run.
+
+    peers / seed / op_interval / step_interval / settle / timeout
+        Mirror :func:`~repro.harness.replay.replay_schedule` so every
+        emitted schedule replays bit-identically with no extra args.
+    depth
+        Number of fault decision points per execution.
+    max_schedules / max_states
+        Hard budgets on executions run and distinct abstract states
+        fingerprinted.  Exceeding either stops the search (reported,
+        never silent).
+    max_violations
+        Stop after this many distinct confirmed violation signatures
+        (0 = never stop early; keep searching to the budget).
+    interleave
+        Also branch over same-timestamp message-delivery orderings via
+        the kernel :class:`~repro.sim.kernel.SchedulePolicy` seam.
+        Interleaving decisions are not expressible in an ActionSchedule,
+        so violations found *only* under a non-default interleaving are
+        reported as unconfirmed unless plain replay reproduces them.
+    jitter
+        Override the network's per-message jitter (``None`` keeps the
+        stock fabric).  Interleave mode wants ``0.0``: with jitter on,
+        two messages essentially never share a timestamp and the
+        delivery-order seam has nothing to branch on.  The override is
+        applied to the verification replay too, and recorded in the
+        emitted schedule's ``meta`` so a reproducer knows to match it.
+    leader_factory
+        Forwarded to the cluster — plant seeded bugs from
+        :mod:`repro.harness.buggy` to point the explorer at known prey.
+    """
+
+    def __init__(self, peers=3, depth=8, seed=0, step_interval=0.25,
+                 op_interval=0.02, settle=2.0, timeout=60.0,
+                 max_schedules=256, max_states=4096, max_violations=1,
+                 interleave=False, jitter=None, leader_factory=None):
+        self.peers = peers
+        self.depth = depth
+        self.seed = seed
+        self.step_interval = step_interval
+        self.op_interval = op_interval
+        self.settle = settle
+        self.timeout = timeout
+        self.max_schedules = max_schedules
+        self.max_states = max_states
+        self.max_violations = max_violations
+        self.interleave = interleave
+        self.jitter = jitter
+        self.leader_factory = leader_factory
+
+    def net_config(self):
+        """The NetworkConfig override, or None for the stock fabric."""
+        if self.jitter is None:
+            return None
+        from repro.net import NetworkConfig
+        return NetworkConfig(jitter=self.jitter)
+
+
+class Violation:
+    """One distinct way the explored system broke."""
+
+    __slots__ = ("schedule", "signature", "confirmed", "replay_signature",
+                 "prefix")
+
+    def __init__(self, schedule, signature, confirmed, replay_signature,
+                 prefix):
+        self.schedule = schedule
+        self.signature = signature
+        self.confirmed = confirmed
+        self.replay_signature = replay_signature
+        self.prefix = prefix
+
+    def to_json(self):
+        return {
+            "signature": [list(entry) for entry in self.signature],
+            "confirmed": self.confirmed,
+            "replay_signature": [
+                list(entry) for entry in self.replay_signature
+            ] if self.replay_signature is not None else None,
+            "prefix": list(self.prefix),
+            "schedule": self.schedule.to_json(),
+        }
+
+
+class ExplorationResult:
+    """Everything one exploration did, found, and left on the table."""
+
+    def __init__(self, config):
+        self.config = config
+        self.runs = 0
+        self.choice_points = 0
+        self.states_visited = 0
+        self.states_pruned = 0
+        self.por_skipped = 0
+        self.violations = []
+        self.errors = []              # (prefix, error-string) pairs
+        self.stopped_reason = "exhausted"
+        self.frontier_left = 0
+
+    @property
+    def exhausted(self):
+        return self.stopped_reason == "exhausted"
+
+    @property
+    def ok(self):
+        return not self.violations and not self.errors
+
+    def to_json(self):
+        return {
+            "peers": self.config.peers,
+            "depth": self.config.depth,
+            "seed": self.config.seed,
+            "interleave": self.config.interleave,
+            "runs": self.runs,
+            "choice_points": self.choice_points,
+            "states_visited": self.states_visited,
+            "states_pruned": self.states_pruned,
+            "por_skipped": self.por_skipped,
+            "violations": [violation.to_json()
+                           for violation in self.violations],
+            "errors": [
+                {"prefix": list(prefix), "error": error}
+                for prefix, error in self.errors
+            ],
+            "stopped_reason": self.stopped_reason,
+            "exhausted": self.exhausted,
+            "frontier_truncated": self.frontier_left,
+            "budget": {
+                "max_schedules": self.config.max_schedules,
+                "max_states": self.config.max_states,
+                "max_violations": self.config.max_violations,
+            },
+        }
+
+    def __repr__(self):
+        return (
+            "<ExplorationResult %d runs, %d states, %d violations, %s>"
+            % (self.runs, self.states_visited, len(self.violations),
+               self.stopped_reason)
+        )
+
+
+class _RunOutcome:
+    """What one execution of a decision prefix produced."""
+
+    __slots__ = ("chooser", "schedule", "signature", "pruned", "error")
+
+    def __init__(self, chooser, schedule=None, signature=(), pruned=False,
+                 error=None):
+        self.chooser = chooser
+        self.schedule = schedule
+        self.signature = signature
+        self.pruned = pruned
+        self.error = error
+
+
+class Explorer:
+    """Depth-first bounded search over fault-decision sequences."""
+
+    def __init__(self, config=None, metrics=None, progress=None):
+        self.config = config or ExplorerConfig()
+        self.metrics = metrics
+        self.progress = progress      # callable(ExplorationResult), per run
+        # fingerprint -> shallowest decision step at which it was seen
+        self._visited = {}
+        self._por_stats = {"choice_points": 0, "por_skipped": 0}
+        self._signatures = set()
+
+    # ------------------------------------------------------------------
+    # Search driver
+    # ------------------------------------------------------------------
+
+    def run(self):
+        """Explore until the frontier drains or a budget trips."""
+        config = self.config
+        result = ExplorationResult(config)
+        frontier = DfsFrontier()
+        while len(frontier):
+            if result.runs >= config.max_schedules:
+                result.stopped_reason = "max_schedules"
+                break
+            if len(self._visited) >= config.max_states:
+                result.stopped_reason = "max_states"
+                break
+            prefix = frontier.pop()
+            outcome = self._execute(prefix, result)
+            result.runs += 1
+            if outcome.error is not None:
+                result.errors.append((tuple(prefix), outcome.error))
+            elif outcome.signature and not outcome.pruned:
+                self._record_violation(prefix, outcome, result)
+                if (config.max_violations
+                        and len(result.violations) >= config.max_violations):
+                    result.stopped_reason = "max_violations"
+                    break
+            frontier.expand(prefix, outcome.chooser)
+            self._note_progress(result, frontier)
+        result.states_visited = len(self._visited)
+        result.por_skipped = self._por_stats["por_skipped"]
+        result.choice_points += self._por_stats["choice_points"]
+        result.frontier_left = len(frontier)
+        self._publish_metrics(result)
+        return result
+
+    def _record_violation(self, prefix, outcome, result):
+        """Re-verify a violating run through the stock replay engine.
+
+        A violation only counts once per signature; `confirmed` means a
+        fresh ``replay_schedule`` of the emitted ActionSchedule (default
+        FIFO kernel, no explorer in the loop) reproduced the exact same
+        signature — the bit-identical-replay guarantee the shrinker
+        needs.
+        """
+        if outcome.signature in self._signatures:
+            return
+        self._signatures.add(outcome.signature)
+        replay_kwargs = {}
+        net_config = self.config.net_config()
+        if net_config is not None:
+            replay_kwargs["net_config"] = net_config
+        replayed = replay_schedule(
+            outcome.schedule, leader_factory=self.config.leader_factory,
+            settle=self.config.settle, timeout=self.config.timeout,
+            **replay_kwargs
+        )
+        result.violations.append(Violation(
+            schedule=outcome.schedule,
+            signature=outcome.signature,
+            confirmed=(replayed.signature == outcome.signature),
+            replay_signature=replayed.signature,
+            prefix=tuple(prefix),
+        ))
+
+    def _note_progress(self, result, frontier):
+        result.states_visited = len(self._visited)
+        result.frontier_left = len(frontier)
+        if self.progress is not None:
+            self.progress(result)
+
+    def _publish_metrics(self, result):
+        if self.metrics is None:
+            return
+        self.metrics.counter("mc.runs").inc(result.runs)
+        self.metrics.counter("mc.states_visited").inc(result.states_visited)
+        self.metrics.counter("mc.states_pruned").inc(result.states_pruned)
+        self.metrics.counter("mc.por_skipped").inc(result.por_skipped)
+        self.metrics.counter("mc.violations").inc(len(result.violations))
+
+    # ------------------------------------------------------------------
+    # One execution
+    # ------------------------------------------------------------------
+
+    def _execute(self, prefix, result):
+        """Run one decision prefix end to end.
+
+        Mirrors :func:`~repro.harness.replay.replay_schedule` exactly —
+        boot, stabilise, client load from t0, one action per step
+        boundary, quiesce, check — so the ActionSchedule assembled from
+        the choices replays to the same execution bit for bit.
+        """
+        config = self.config
+        chooser = Chooser(prefix)
+        cluster_kwargs = {}
+        net_config = config.net_config()
+        if net_config is not None:
+            cluster_kwargs["net_config"] = net_config
+        cluster = Cluster(
+            config.peers, seed=config.seed,
+            leader_factory=config.leader_factory, **cluster_kwargs
+        ).start()
+        if config.interleave:
+            cluster.sim.set_policy(InterleavingPolicy(
+                chooser, cluster.network._deliver, self._por_stats
+            ))
+        meta = {
+            "seed": config.seed,
+            "n_voters": config.peers,
+            "op_interval": config.op_interval,
+            "explored_prefix": list(prefix),
+        }
+        if config.jitter is not None:
+            meta["jitter"] = config.jitter
+        schedule = ActionSchedule(meta=meta)
+        try:
+            cluster.run_until_stable(timeout=config.timeout)
+        except TimeoutError as exc:
+            return _RunOutcome(
+                chooser, schedule, error="never stable: %s" % exc
+            )
+        t0 = cluster.sim.now
+
+        if config.op_interval:
+            def load_tick():
+                leader = cluster.leader()
+                if leader is not None:
+                    try:
+                        leader.propose_op(("incr", "campaign", 1))
+                    except Exception:
+                        pass
+                cluster.sim.schedule(config.op_interval, load_tick)
+
+            load_tick()
+
+        for step in range(config.depth):
+            target = t0 + (step + 1) * config.step_interval
+            if target > cluster.sim.now:
+                cluster.run(target - cluster.sim.now)
+            options = self._step_options(cluster)
+            pick = options[chooser.next(len(options), label="step%d" % step)]
+            result.choice_points += 1
+            if pick is not NOOP:
+                action = Action(
+                    (step + 1) * config.step_interval, pick[0], pick[1]
+                )
+                schedule.add(action.time, action.kind, action.target)
+                apply_action(cluster, action)
+            # Prune only at or beyond this run's divergence point: while
+            # the chooser is still replaying its scripted prefix, the
+            # states necessarily match the parent run's — flagging them
+            # as "revisited" would kill the exact branch the frontier
+            # scheduled this run to explore.
+            if len(chooser.taken) >= len(chooser.prefix):
+                if self._prune(cluster, step):
+                    result.states_pruned += 1
+                    return _RunOutcome(chooser, schedule, pruned=True)
+
+        # Quiesce exactly like replay_schedule: undo standing faults,
+        # re-stabilise, settle, then judge the whole history.
+        cluster.heal()
+        for peer_id, peer in cluster.peers.items():
+            if peer.crashed:
+                cluster.recover(peer_id)
+        try:
+            cluster.run_until_stable(timeout=config.timeout)
+        except TimeoutError as exc:
+            return _RunOutcome(
+                chooser, schedule, error="never re-stabilised: %s" % exc
+            )
+        cluster.run(config.settle)
+
+        report = cluster.check_properties()
+        states = {
+            tuple(sorted(state.items()))
+            for state in cluster.states().values()
+        }
+        signature = violation_signature(report, converged=len(states) == 1)
+        return _RunOutcome(chooser, schedule, signature=signature)
+
+    def _step_options(self, cluster):
+        """The fault menu at this decision point, gated by cluster state.
+
+        Deterministic given the execution so far (the same prefix always
+        sees the same menu — required for sound sibling expansion).
+        Faults come first so the DFS default descent is the most
+        adversarial path; ``noop`` is always present and always last.
+        """
+        config = self.config
+        peers = cluster.peers
+        down = sum(1 for peer in peers.values() if peer.crashed)
+        max_down = (config.peers - 1) // 2
+        leader = cluster.leader()
+        partitioned = cluster.network.partitions.active()
+        options = []
+        if down < max_down:
+            if leader is not None:
+                options.append(("crash_leader", None))
+            if any(
+                not peer.crashed and not peer.is_observer
+                and peer.is_active_follower
+                for peer in peers.values()
+            ):
+                options.append(("crash_follower", None))
+        if leader is not None and not partitioned:
+            options.append(("partition", [[leader.peer_id]]))
+        if partitioned:
+            options.append(("heal", None))
+        if down:
+            options.append(("recover_all", None))
+        options.append(NOOP)
+        return options
+
+    def _prune(self, cluster, step):
+        """True when this abstract state was already expanded no deeper.
+
+        The first visitor of a fingerprint explores its whole remaining
+        subtree; a later arrival at the same state with the same or less
+        remaining depth can only rediscover a subset, so it stops.
+        (Heuristic, not exact: the fingerprint abstracts away RNG-stream
+        positions, so two "equal" states can differ microscopically in
+        future message jitter.  See docs/TESTING.md.)
+        """
+        fingerprint = cluster_fingerprint(cluster)
+        seen_at = self._visited.get(fingerprint)
+        if seen_at is not None and seen_at <= step:
+            return True
+        self._visited[fingerprint] = (
+            step if seen_at is None else min(seen_at, step)
+        )
+        return False
+
+
+def explore_schedules(peers=3, depth=8, seed=0, leader_factory=None,
+                      metrics=None, progress=None, **config_kwargs):
+    """One-call convenience wrapper: build config, run, return the result."""
+    config = ExplorerConfig(
+        peers=peers, depth=depth, seed=seed,
+        leader_factory=leader_factory, **config_kwargs
+    )
+    return Explorer(config, metrics=metrics, progress=progress).run()

@@ -1,0 +1,69 @@
+"""The explorer's kernel policy: branch over same-timestamp orderings.
+
+:class:`InterleavingPolicy` plugs into the simulator seam
+(:meth:`repro.sim.kernel.Simulator.set_policy`) and turns every
+genuine same-timestamp tie into a :class:`~repro.mc.choices.Chooser`
+choice point, with a partial-order-reduction-lite pass so commuting
+orderings are not branched on:
+
+- Two network deliveries bound for *different* peers commute — each
+  mutates only its destination's state — so their relative order never
+  gets a choice point.  (Per-pair FIFO is enforced by the fabric with an
+  epsilon, so two deliveries on the *same* ``(src, dst)`` link can never
+  tie; ties to the same destination always come from different senders.)
+- Deliveries to the *same* peer conflict: which sender's message lands
+  first is exactly the nondeterminism Zab's quorum logic must tolerate,
+  so the policy branches over the members of that group.
+- Any non-delivery event in the tie set (timer callbacks are opaque
+  closures, so their footprint is unknown) makes the pass go
+  conservative: the whole tie becomes one conflict group and every
+  ordering is branched.
+
+After one event fires, the kernel re-offers the remaining tied events,
+so "who goes second" becomes the next choice point recursively — the
+policy only ever decides "who goes first".
+"""
+
+from repro.sim.kernel import SchedulePolicy
+
+
+class InterleavingPolicy(SchedulePolicy):
+    """Chooser-driven tie-breaking with delivery-commutation pruning.
+
+    *stats* (any mutable mapping) accumulates ``choice_points`` (ties
+    that branched) and ``por_skipped`` (orderings pruned as commuting).
+    """
+
+    def __init__(self, chooser, deliver_fn, stats=None):
+        self.chooser = chooser
+        self.deliver_fn = deliver_fn
+        self.stats = stats if stats is not None else {}
+        self.stats.setdefault("choice_points", 0)
+        self.stats.setdefault("por_skipped", 0)
+
+    def choose(self, events):
+        group = self._first_conflict_group(events)
+        self.stats["por_skipped"] += len(events) - len(group)
+        if len(group) == 1:
+            return group[0]
+        self.stats["choice_points"] += 1
+        pick = self.chooser.next(len(group), label="tie@%d" % len(group))
+        return group[pick]
+
+    def _first_conflict_group(self, events):
+        """Indices of the tied events whose mutual order matters first.
+
+        All-delivery ties partition by destination; groups for distinct
+        destinations commute, so only the earliest (FIFO) group needs a
+        decision now — the others will be re-offered after it fires.
+        Mixed ties collapse to one all-inclusive group (conservative).
+        """
+        # Bound-method comparison must be ``==`` (each attribute access
+        # builds a fresh method object, so ``is`` never matches).
+        if any(event.fn != self.deliver_fn for event in events):
+            return list(range(len(events)))
+        first_dst = events[0].args[0].dst
+        return [
+            index for index, event in enumerate(events)
+            if event.args[0].dst == first_dst
+        ]

@@ -28,6 +28,10 @@ class PartitionManager:
         """Remove the group partition (severed links stay severed)."""
         self._groups = None
 
+    def active(self):
+        """True while a group partition is installed (ignores cut links)."""
+        return self._groups is not None
+
     def cut_link(self, src, dst, symmetric=True):
         """Sever a single direction (or both) between two nodes."""
         self._cut_links.add((src, dst))

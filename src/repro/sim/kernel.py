@@ -11,6 +11,33 @@ class SimulationLimitError(ReproError):
     """The simulator processed more events than the configured bound."""
 
 
+class SchedulePolicy:
+    """Controlled-nondeterminism seam: orders same-timestamp events.
+
+    The kernel fires events in ``(time, seq)`` order — a fixed, arbitrary
+    serialisation of what a real system leaves unspecified.  A policy
+    installed with :meth:`Simulator.set_policy` is consulted whenever two
+    or more ready events share the minimum timestamp and picks which one
+    fires first; the rest stay queued (and are offered again, minus the
+    fired one).  This is the hook the bounded model checker
+    (:mod:`repro.mc`) uses to enumerate message-delivery interleavings
+    that random jitter would never sample.
+
+    Policies must be deterministic functions of the choice sequence they
+    are driven by, or replay guarantees break.
+    """
+
+    def choose(self, events):
+        """Return the index (into *events*) of the event to fire next.
+
+        *events* is a non-empty list of ready (non-cancelled) events that
+        all carry the same timestamp, in ``seq`` order.  The default is
+        FIFO: scheduling order, exactly what the kernel does without a
+        policy.
+        """
+        return 0
+
+
 class Simulator:
     """Single-threaded virtual-time event loop.
 
@@ -26,6 +53,7 @@ class Simulator:
         self._now = 0.0
         self._events_fired = 0
         self._live = 0           # not-yet-cancelled events in the queue
+        self._policy = None      # optional SchedulePolicy (tie-breaking)
         self.random = SplitRandom(seed)
 
     @property
@@ -60,6 +88,17 @@ class Simulator:
     def _note_cancelled(self):
         self._live -= 1
 
+    def set_policy(self, policy):
+        """Install (or with ``None`` remove) a :class:`SchedulePolicy`.
+
+        Returns the previous policy.  Only same-timestamp tie-breaking
+        goes through the policy; the single-ready-event fast path is
+        unchanged, so simulations that never produce ties behave
+        identically with any policy installed.
+        """
+        previous, self._policy = self._policy, policy
+        return previous
+
     def pending(self):
         """Number of not-yet-cancelled events in the queue (O(1)).
 
@@ -69,6 +108,16 @@ class Simulator:
         event's ``on_cancel`` hook, so no heap scan is ever needed.
         """
         return self._live
+
+    def iter_pending(self):
+        """Not-yet-cancelled queued events, in ``(time, seq)`` order.
+
+        A read-only view for inspection (the model checker fingerprints
+        the in-flight message set with it); mutating the yielded events
+        other than via :meth:`~repro.sim.events.Event.cancel` is not
+        supported.
+        """
+        return sorted(event for event in self._queue if not event.cancelled)
 
     def run(self, until=None, max_events=None):
         """Process events in order.
@@ -87,6 +136,8 @@ class Simulator:
                 self._now = until
                 return self._now
             heapq.heappop(self._queue)
+            if self._policy is not None:
+                event = self._resolve_tie(event)
             self._now = event.time
             event.fire()
             self._events_fired += 1
@@ -98,6 +149,35 @@ class Simulator:
         if until is not None and until > self._now:
             self._now = until
         return self._now
+
+    def _resolve_tie(self, head):
+        """Let the installed policy pick among all events tied with *head*.
+
+        *head* has already been popped.  Gathers every other ready event
+        carrying the same timestamp, asks the policy to choose, fires the
+        chosen one and pushes the rest back (their ``(time, seq)`` keys
+        are unchanged, so relative order among the losers is preserved).
+        """
+        tied = [head]
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if event.time != head.time:
+                break
+            tied.append(heapq.heappop(self._queue))
+        if len(tied) == 1:
+            return head
+        index = self._policy.choose(tied)
+        if not 0 <= index < len(tied):
+            raise ValueError(
+                "policy chose %r out of %d tied events" % (index, len(tied))
+            )
+        chosen = tied.pop(index)
+        for event in tied:
+            heapq.heappush(self._queue, event)
+        return chosen
 
     def run_for(self, duration):
         """Advance virtual time by *duration* seconds, processing events."""

@@ -82,11 +82,17 @@ class Batcher:
             self._flush_fn(batch)
 
     def close(self):
-        """Drop buffered requests and cancel the timer."""
+        """Drop buffered requests and cancel the timer.
+
+        Called when the leader loses leadership (or crashes): whatever
+        was buffered must die with the epoch — handing it to the flush
+        function here would leak requests into the next leader's term.
+        """
         if self._timer is not None:
             self._peer.cancel_timer(self._timer)
             self._timer = None
         self._buffer = []
+        self._first_add_at = None
 
     def __len__(self):
         return len(self._buffer)

@@ -1,0 +1,148 @@
+"""Property-based tests for the leader-side request batcher.
+
+Two layers:
+
+- Unit-level (hypothesis): random interleavings of add / advance-time /
+  manual-flush, optionally ending in ``close()``, must preserve the
+  batcher's contract — FIFO order, no duplicates, no request held past
+  ``batch_delay``, batches never exceed ``max_batch``, nothing stuck
+  forever, and nothing flushed after close.
+
+- Cluster-level: the ``batch_delay`` timer edge the batcher exists to
+  get right.  A leader buffers requests, the flush timer is armed, and
+  the leader then crashes (or is partitioned out and abdicates) before
+  the timer fires.  The buffered requests must die with that epoch:
+  they are never delivered anywhere, in any epoch, and the PO
+  properties hold across the leadership change.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.harness import Cluster
+from repro.sim import Process, Simulator
+from repro.zab.pipeline import Batcher
+
+
+class Host(Process):
+    def __init__(self, sim):
+        Process.__init__(self, sim, "host")
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.just(("add",)),
+        st.tuples(st.just("run"), st.floats(min_value=0.001, max_value=0.4)),
+        st.just(("flush",)),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    ops=_OPS,
+    max_batch=st.integers(min_value=1, max_value=8),
+    delay=st.sampled_from([0.0, 0.05, 0.2]),
+    close_at_end=st.booleans(),
+)
+def test_batcher_contract_under_random_interleavings(
+    ops, max_batch, delay, close_at_end
+):
+    sim = Simulator()
+    host = Host(sim)
+    flushes = []  # (virtual time, batch)
+
+    batcher = Batcher(
+        host, max_batch, delay, lambda batch: flushes.append((sim.now, batch))
+    )
+    submitted = []
+    added_at = {}
+    for op in ops:
+        if op[0] == "add":
+            request = "r%d" % len(submitted)
+            submitted.append(request)
+            added_at[request] = sim.now
+            batcher.add(request)
+        elif op[0] == "run":
+            sim.run(until=sim.now + op[1])
+        else:
+            batcher.flush()
+
+    if close_at_end:
+        batcher.close()
+        dropped = set(submitted) - {
+            request for _t, batch in flushes for request in batch
+        }
+    sim.run()  # drain every pending timer
+
+    flat = [request for _t, batch in flushes for request in batch]
+    # FIFO, exactly-once: what got flushed is exactly a prefix of what
+    # was submitted (the dropped tail only exists after close()).
+    assert flat == submitted[: len(flat)]
+    if close_at_end:
+        # close() is terminal for the buffered tail: draining the sim
+        # afterwards flushed nothing more.
+        assert set(flat).isdisjoint(dropped)
+        assert len(batcher) == 0
+    else:
+        assert flat == submitted, "requests stuck in the batcher forever"
+    for flush_time, batch in flushes:
+        assert 0 < len(batch) <= max_batch
+        # No request waits longer than the batch delay (1e-9 covers
+        # float rounding in virtual-time addition).
+        assert flush_time - added_at[batch[0]] <= delay + 1e-9
+
+
+def _buffer_doomed_requests(cluster, leader, count=5):
+    """Submit *count* writes that stay buffered (timer armed, no flush)."""
+    committed = []
+    for index in range(count):
+        leader.propose_op(
+            ("incr", "doomed-%d" % index, 1),
+            callback=lambda result, zxid: committed.append(zxid),
+        )
+    assert len(leader.ctx.batcher) == count, "requests should be buffered"
+    return committed
+
+
+def _assert_no_leak(cluster, committed):
+    for peer_id, state in cluster.states().items():
+        leaked = [key for key in state if key.startswith("doomed")]
+        assert not leaked, "peer %d delivered %s" % (peer_id, leaked)
+    assert committed == [], "buffered request committed across epochs"
+    report = cluster.check_properties()
+    assert report.ok, report.violations[:5]
+
+
+def test_buffered_requests_die_when_leader_crashes_before_flush():
+    cluster = Cluster(3, seed=2, max_batch=64, batch_delay=0.5).start()
+    leader = cluster.run_until_stable(timeout=60)
+    committed = _buffer_doomed_requests(cluster, leader)
+    cluster.run(0.1)  # well inside the 0.5 s batch window
+    cluster.crash(leader.peer_id)
+    cluster.run_until_stable(timeout=60)
+    cluster.recover(leader.peer_id)
+    cluster.run_until_stable(timeout=60)
+    cluster.run(2.0)
+    _assert_no_leak(cluster, committed)
+
+
+def test_buffered_requests_die_when_leader_loses_leadership():
+    # Same edge without a crash: the isolated leader abdicates (loses
+    # follower quorum) while the batch timer is armed; Batcher.close()
+    # must drop the buffer instead of flushing it into the next epoch.
+    cluster = Cluster(3, seed=2, max_batch=64, batch_delay=0.5).start()
+    leader = cluster.run_until_stable(timeout=60)
+    old_epoch = leader.current_epoch()
+    committed = _buffer_doomed_requests(cluster, leader)
+    cluster.partition([leader.peer_id])
+    cluster.run(0.4)  # staleness timeout < 0.4 s < batch_delay arming
+    assert leader.state != "leading" or not leader.ctx.established
+    cluster.heal()
+    cluster.run_until_stable(timeout=60)
+    cluster.run(2.0)
+    assert cluster.leader().current_epoch() > old_epoch
+    _assert_no_leak(cluster, committed)

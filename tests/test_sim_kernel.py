@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim import Simulator
-from repro.sim.kernel import SimulationLimitError
+from repro.sim.kernel import SchedulePolicy, SimulationLimitError
 
 
 def test_events_fire_in_time_order():
@@ -132,3 +132,121 @@ def test_events_fired_counter():
         sim.schedule(0.1, lambda: None)
     sim.run()
     assert sim.events_fired == 5
+
+
+# ----------------------------------------------------------------------
+# SchedulePolicy: the controlled-nondeterminism seam used by repro.mc
+# ----------------------------------------------------------------------
+
+
+class _LastFirst(SchedulePolicy):
+    """Fire same-timestamp ties in reverse scheduling order."""
+
+    def choose(self, events):
+        return len(events) - 1
+
+
+class _Exploding(SchedulePolicy):
+    def choose(self, events):
+        raise AssertionError("policy consulted without a tie")
+
+
+def test_default_policy_matches_fifo():
+    plain, policed = Simulator(), Simulator()
+    policed.set_policy(SchedulePolicy())
+    order = []
+    for sim, tag in ((plain, "plain"), (policed, "policed")):
+        for label in "abc":
+            sim.schedule(1.0, order.append, (tag, label))
+        sim.run()
+    assert [l for t, l in order if t == "plain"] == list("abc")
+    assert [l for t, l in order if t == "policed"] == list("abc")
+
+
+def test_policy_reorders_same_timestamp_ties():
+    sim = Simulator()
+    sim.set_policy(_LastFirst())
+    fired = []
+    for label in "abc":
+        sim.schedule(1.0, fired.append, label)
+    sim.run()
+    assert fired == ["c", "b", "a"]
+
+
+def test_policy_not_consulted_without_ties():
+    sim = Simulator()
+    sim.set_policy(_Exploding())
+    fired = []
+    sim.schedule(0.1, fired.append, "a")
+    sim.schedule(0.2, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_policy_losers_keep_relative_order():
+    class PickMiddleOnce(SchedulePolicy):
+        def __init__(self):
+            self.calls = 0
+
+        def choose(self, events):
+            self.calls += 1
+            return 1 if self.calls == 1 else 0
+
+    sim = Simulator()
+    sim.set_policy(PickMiddleOnce())
+    fired = []
+    for label in "abc":
+        sim.schedule(1.0, fired.append, label)
+    sim.run()
+    assert fired == ["b", "a", "c"]
+
+
+def test_policy_sees_only_ready_uncancelled_events():
+    seen = {}
+
+    class Spy(SchedulePolicy):
+        def choose(self, events):
+            seen.setdefault("tie", [e.args[0] for e in events])
+            return 0
+
+    sim = Simulator()
+    sim.set_policy(Spy())
+    sink = []
+    sim.schedule(1.0, sink.append, "a")
+    dropped = sim.schedule(1.0, sink.append, "dropped")
+    sim.schedule(1.0, sink.append, "b")
+    sim.schedule(2.0, sink.append, "later")
+    dropped.cancel()
+    sim.run()
+    assert seen["tie"] == ["a", "b"]
+    assert sink == ["a", "b", "later"]
+
+
+def test_policy_out_of_range_choice_raises():
+    class OutOfRange(SchedulePolicy):
+        def choose(self, events):
+            return len(events)
+
+    sim = Simulator()
+    sim.set_policy(OutOfRange())
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_set_policy_returns_previous():
+    sim = Simulator()
+    first, second = SchedulePolicy(), SchedulePolicy()
+    assert sim.set_policy(first) is None
+    assert sim.set_policy(second) is first
+    assert sim.set_policy(None) is second
+
+
+def test_iter_pending_is_ordered_and_skips_cancelled():
+    sim = Simulator()
+    late = sim.schedule(2.0, lambda: None)
+    early = sim.schedule(1.0, lambda: None)
+    gone = sim.schedule(1.5, lambda: None)
+    gone.cancel()
+    assert list(sim.iter_pending()) == [early, late]

@@ -58,6 +58,33 @@ def test_manual_flush_cancels_timer():
     assert flushed == [["a"]]  # timer did not fire a second flush
 
 
+def test_flush_then_refill_waits_the_full_delay_again():
+    # Regression: a manual flush must leave no stale timer behind — a
+    # buffer refilled right after a flush gets the full batch_delay from
+    # the refill, not an early flush at the *original* deadline.
+    sim, batcher, flushed = make_batcher(10, 0.2)
+    batcher.add("a")
+    sim.run(until=0.05)
+    batcher.flush()
+    assert flushed == [["a"]]
+    sim.run(until=0.1)
+    batcher.add("b")
+    sim.run(until=0.25)  # past the stale deadline (0.0 + 0.2)
+    assert flushed == [["a"]], "stale timer flushed the refilled buffer"
+    sim.run(until=0.31)  # past the real deadline (0.1 + 0.2, fp-rounded)
+    assert flushed == [["a"], ["b"]]
+
+
+def test_close_resets_first_add_timestamp():
+    # Hygiene invariant: empty buffer <=> no first-add timestamp.  A
+    # closed batcher must not keep the old epoch's timestamp around.
+    sim, batcher, _flushed = make_batcher(10, 0.2)
+    batcher.add("a")
+    assert batcher._first_add_at == sim.now
+    batcher.close()
+    assert batcher._first_add_at is None
+
+
 def test_close_drops_buffered_items():
     sim, batcher, flushed = make_batcher(10, 0.2)
     batcher.add("a")
