@@ -20,8 +20,9 @@ and EXPERIMENTS.md for the paper-vs-measured record of every reproduced
 table and figure.
 """
 
+from repro.bench.micro import run_micro_suite
 from repro.bench.runner import run_broadcast_bench
-from repro.checker import Trace, check_all
+from repro.checker import CheckerState, Trace, check_all
 from repro.client import Client
 from repro.harness import (
     ActionSchedule,
@@ -53,7 +54,9 @@ __all__ = [
     "ExplorerConfig",
     "ExplorationResult",
     "run_broadcast_bench",
+    "run_micro_suite",
     "check_all",
+    "CheckerState",
     "Trace",
     "Tracer",
     "MetricsRegistry",

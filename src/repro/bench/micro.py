@@ -1,0 +1,347 @@
+"""Wall-clock microbenchmarks of the three simulation hot paths.
+
+Unlike everything else in :mod:`repro.bench` — which measures *simulated*
+time — this module measures **wall-clock** throughput of the Python
+machinery itself: how many kernel events, fabric messages, and checker
+events per real second the toolkit can push.  Those rates bound every
+experiment and every ``repro explore`` campaign, so they are tracked as
+first-class, regression-gated metrics (``BENCH_micro.json`` against
+``benchmarks/micro_baseline.json``).
+
+Four probes, one per hot layer:
+
+- **kernel** — steady-state event-loop throughput: timer chains that
+  reschedule themselves plus a cancel-churn component (every tick arms a
+  timeout and cancels it on the next, the dominant pattern protocol
+  timers produce).  Reported as ``kernel.events_per_s``.
+- **fabric** — per-message overhead of :class:`repro.net.Network`:
+  a leader-shaped node broadcasting fixed-size payloads to *n* followers
+  through the full send/arrival/deliver path.  Reported as
+  ``fabric.messages_per_s``.
+- **checker** — PO-property checking throughput over a synthetic
+  many-epoch trace: the post-hoc :func:`repro.checker.check_all` pass
+  (``checker.check_all_events_per_s``) and, when available, the
+  incremental :class:`repro.checker.CheckerState` consuming the same
+  events one at a time (``checker.events_per_s``).
+- **explore** — end-to-end states/second of a small exhaustive
+  ``repro explore`` run, the metric the DFS campaign actually buys with
+  the three layers above.  Reported as ``explore.states_per_s`` and
+  ``explore.runs_per_s``.
+
+Workloads are deterministic (fixed seeds, fixed op counts); only the
+clock is real, so run-to-run noise is scheduler jitter plus CPU-speed
+differences between machines.  The committed baseline therefore carries
+*generous* tolerances — the gate is meant to catch order-of-magnitude
+hot-path regressions, not 10% wobble.
+"""
+
+import time
+
+from repro.bench.report import make_report, write_report
+
+#: Benchmarked op counts, chosen so the whole suite runs in a few
+#: seconds on a developer laptop while each probe still measures at
+#: least ~10^5 operations.
+KERNEL_EVENTS = 200_000
+FABRIC_MESSAGES = 60_000
+CHECKER_EVENTS = 60_000
+EXPLORE_DEPTH = 3
+
+
+def _best_of(fn, repeat):
+    """Run *fn* (returns ops) *repeat* times; return the best ops/sec.
+
+    Best-of is the standard microbench estimator: the minimum elapsed
+    time is the run least disturbed by the OS, and wall-clock noise is
+    strictly additive.
+    """
+    best = 0.0
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        ops = fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed > 0:
+            best = max(best, ops / elapsed)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Kernel
+# ---------------------------------------------------------------------------
+
+def bench_kernel(events=KERNEL_EVENTS, chains=32, repeat=3):
+    """Steady-state event-loop throughput, in events/second.
+
+    *chains* self-rescheduling timers keep the heap at a realistic
+    depth; every firing also arms a pseudo-timeout that the next firing
+    cancels, so the bench exercises schedule, fire, *and* cancel — the
+    full per-event life cycle the protocol layer generates.
+    """
+    from repro.sim import Simulator
+
+    def run_once():
+        sim = Simulator(seed=1)
+
+        def _noop():
+            pass
+
+        def make_tick(period):
+            armed = [None]
+
+            def tick():
+                stale = armed[0]
+                if stale is not None:
+                    stale.cancel()
+                armed[0] = sim.schedule(period * 10, _noop)
+                sim.schedule(period, tick)
+
+            return tick
+
+        for chain in range(chains):
+            # Coprime-ish periods so firings interleave instead of
+            # arriving in lockstep bursts.
+            sim.schedule(0.0, make_tick(0.001 + chain * 1e-5))
+        try:
+            sim.run(max_events=events)
+        except Exception:
+            pass  # SimulationLimitError is the expected exit
+        return sim.events_fired
+
+    rate = _best_of(run_once, repeat)
+    return {
+        "kernel.events_per_s": rate,
+        "kernel.events": float(events),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fabric
+# ---------------------------------------------------------------------------
+
+class _MicroPayload:
+    """A Zab-proposal-shaped payload: carries a zxid and a wire size."""
+
+    __slots__ = ("zxid", "body")
+
+    def __init__(self, body):
+        self.zxid = None
+        self.body = body
+
+    def wire_size(self):
+        return 64 + len(self.body)
+
+
+def bench_fabric(messages=FABRIC_MESSAGES, followers=4, repeat=3):
+    """Per-message fabric overhead, in delivered messages/second.
+
+    One leader-shaped sender broadcasts to *followers* receivers in
+    rounds, with the bandwidth model on — the exact shape of the Zab
+    commit path that saturates experiment E1.
+    """
+    from repro.net import Network, NetworkConfig
+    from repro.sim import Simulator
+
+    rounds = max(1, messages // followers)
+
+    def run_once():
+        sim = Simulator(seed=1)
+        net = Network(sim, NetworkConfig(bandwidth_bps=1e9))
+        received = {"n": 0}
+
+        def handler(src, payload):
+            received["n"] += 1
+
+        net.register(0, handler)
+        dsts = list(range(1, followers + 1))
+        for dst in dsts:
+            net.register(dst, handler)
+        payload = _MicroPayload(b"x" * 512)
+
+        def pump(left):
+            net.broadcast(0, dsts, payload)
+            if left > 1:
+                sim.schedule(0.0005, pump, left - 1)
+
+        sim.schedule(0.0, pump, rounds)
+        sim.run()
+        return received["n"]
+
+    rate = _best_of(run_once, repeat)
+    return {
+        "fabric.messages_per_s": rate,
+        "fabric.messages": float(rounds * followers),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Checker
+# ---------------------------------------------------------------------------
+
+def _synthetic_trace(events, processes=5, epochs=4):
+    """A clean multi-epoch trace: every process delivers every txn."""
+    from repro.checker import Trace
+    from repro.zab.zxid import Zxid
+
+    trace = Trace()
+    # One delivery per (txn, process) plus one broadcast per txn.
+    txns = max(1, events // (processes + 1))
+    per_epoch = max(1, txns // epochs)
+    position = 0
+    for txn in range(txns):
+        epoch = min(1 + txn // per_epoch, epochs)
+        zxid = Zxid(epoch, txn + 1)
+        txn_id = "t%d" % txn
+        trace.record_broadcast(1, epoch, zxid, txn_id)
+        position += 1
+        for process in range(1, processes + 1):
+            trace.record_delivery(
+                process, 1, position, zxid, txn_id, epoch=epoch
+            )
+    return trace
+
+
+def bench_checker(events=CHECKER_EVENTS, processes=5, repeat=3):
+    """Property-checking throughput, in trace events/second.
+
+    Measures the post-hoc ``check_all`` pass always, and the
+    incremental ``CheckerState`` (one ``observe`` call per event plus a
+    final verdict) when the current tree provides it.
+    """
+    trace = _synthetic_trace(events, processes=processes)
+    total = len(trace.broadcasts) + len(trace.deliveries)
+
+    from repro.checker import check_all
+
+    def posthoc_once():
+        report = check_all(trace)
+        assert report.ok
+        return total
+
+    metrics = {
+        "checker.check_all_events_per_s": _best_of(posthoc_once, repeat),
+        "checker.events": float(total),
+    }
+
+    try:
+        from repro.checker import CheckerState
+    except ImportError:
+        return metrics
+
+    def incremental_once():
+        state = CheckerState()
+        observe_broadcast = state.observe_broadcast
+        observe_delivery = state.observe_delivery
+        broadcasts = iter(trace.broadcasts)
+        deliveries = iter(trace.deliveries)
+        next_b = next(broadcasts, None)
+        next_d = next(deliveries, None)
+        while next_b is not None or next_d is not None:
+            if next_d is None or (
+                next_b is not None and next_b.index < next_d.index
+            ):
+                observe_broadcast(next_b)
+                next_b = next(broadcasts, None)
+            else:
+                observe_delivery(next_d)
+                next_d = next(deliveries, None)
+        assert state.ok
+        return total
+
+    metrics["checker.events_per_s"] = _best_of(incremental_once, repeat)
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Explore
+# ---------------------------------------------------------------------------
+
+def bench_explore(depth=EXPLORE_DEPTH, peers=3, repeat=3):
+    """End-to-end explorer throughput on a small exhaustive search.
+
+    states/second is the composite number the three layers above buy:
+    each explored state is one full boot-run-quiesce-check execution.
+    """
+    from repro.mc import explore_schedules
+
+    stats = {}
+
+    def run_once():
+        result = explore_schedules(
+            peers=peers, depth=depth, seed=0,
+            max_schedules=512, max_states=4096, max_violations=0,
+        )
+        stats["states"] = result.states_visited
+        stats["runs"] = result.runs
+        return result.states_visited
+
+    rate = _best_of(run_once, repeat)
+    runs_rate = rate * stats["runs"] / max(1, stats["states"])
+    return {
+        "explore.states_per_s": rate,
+        "explore.runs_per_s": runs_rate,
+        "explore.states": float(stats["states"]),
+        "explore.runs": float(stats["runs"]),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Suite
+# ---------------------------------------------------------------------------
+
+def run_micro_suite(quick=False, progress=None):
+    """Run every probe; returns the flat metrics dict.
+
+    ``quick=True`` shrinks op counts ~10x for smoke tests and CI
+    runners where absolute rates do not matter.
+    """
+    scale = 10 if quick else 1
+    probes = (
+        ("kernel", lambda: bench_kernel(
+            events=KERNEL_EVENTS // scale,
+            repeat=1 if quick else 3,
+        )),
+        ("fabric", lambda: bench_fabric(
+            messages=FABRIC_MESSAGES // scale,
+            repeat=1 if quick else 3,
+        )),
+        ("checker", lambda: bench_checker(
+            events=CHECKER_EVENTS // scale,
+            repeat=1 if quick else 3,
+        )),
+        ("explore", lambda: bench_explore(
+            depth=2 if quick else EXPLORE_DEPTH,
+            repeat=1 if quick else 3,
+        )),
+    )
+    metrics = {}
+    for name, probe in probes:
+        if progress is not None:
+            progress(name)
+        metrics.update(probe())
+    return metrics
+
+
+def write_micro_report(metrics, name="micro", path=None, params=None):
+    """Emit ``BENCH_micro.json`` in the standard repro-bench/v1 schema."""
+    report = make_report(name, metrics, params=params)
+    return write_report(report, path or "BENCH_%s.json" % name)
+
+
+def render_micro(metrics):
+    """A human-readable table of the suite's rates."""
+    rows = [
+        ("kernel", "kernel.events_per_s", "events/s"),
+        ("fabric", "fabric.messages_per_s", "messages/s"),
+        ("checker (incremental)", "checker.events_per_s", "events/s"),
+        ("checker (check_all)", "checker.check_all_events_per_s",
+         "events/s"),
+        ("explore", "explore.states_per_s", "states/s"),
+    ]
+    lines = ["%-22s %14s %s" % ("hot path", "rate", "unit")]
+    for label, key, unit in rows:
+        value = metrics.get(key)
+        if value is None:
+            continue
+        lines.append("%-22s %14s %s" % (label, "{:,.0f}".format(value),
+                                        unit))
+    return "\n".join(lines)

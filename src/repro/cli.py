@@ -56,6 +56,8 @@ def cmd_experiment(args):
 
 
 def cmd_bench(args):
+    if args.micro:
+        return _cmd_bench_micro(args)
     result = run_broadcast_bench(
         args.servers,
         op_size=args.op_size,
@@ -95,6 +97,24 @@ def cmd_bench(args):
             result, args.name, path=args.json
         )
         print("report:       %s" % path)
+    return 0
+
+
+def _cmd_bench_micro(args):
+    """Wall-clock microbenchmarks of the simulation hot paths."""
+    from repro.bench.micro import (
+        render_micro, run_micro_suite, write_micro_report,
+    )
+
+    metrics = run_micro_suite(
+        quick=args.quick,
+        progress=lambda name: print(".. %s" % name, file=sys.stderr),
+    )
+    print(render_micro(metrics))
+    if args.json:
+        params = {"quick": args.quick}
+        path = write_micro_report(metrics, path=args.json, params=params)
+        print("report: %s" % path)
     return 0
 
 
@@ -541,6 +561,13 @@ def build_parser():
                          help="also write a BENCH_<name>.json report")
     p_bench.add_argument("--name", default="bench",
                          help="report name for --json (default bench)")
+    p_bench.add_argument("--micro", action="store_true",
+                         help="wall-clock hot-path microbenchmarks "
+                              "(kernel/fabric/checker/explore) instead "
+                              "of a simulated throughput run")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="with --micro: ~10x smaller op counts "
+                              "(smoke mode; rates are not comparable)")
     p_bench.set_defaults(fn=cmd_bench)
 
     p_trace = sub.add_parser(

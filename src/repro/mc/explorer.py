@@ -22,6 +22,7 @@ or ``max_states`` the result says so and reports how many frontier
 prefixes were left unexplored — no silent caps.
 """
 
+from repro.checker import CheckerState
 from repro.harness.cluster import Cluster
 from repro.harness.replay import replay_schedule, violation_signature
 from repro.harness.schedule import Action, ActionSchedule, apply_action
@@ -304,6 +305,10 @@ class Explorer:
             config.peers, seed=config.seed,
             leader_factory=config.leader_factory, **cluster_kwargs
         ).start()
+        # Incremental checker rides along with the execution, so the
+        # terminal verdict is O(1) instead of a full check_all re-read
+        # of the history at every explored state.
+        checker_state = CheckerState.attach(cluster.trace)
         if config.interleave:
             cluster.sim.set_policy(InterleavingPolicy(
                 chooser, cluster.network._deliver, self._por_stats
@@ -374,7 +379,21 @@ class Explorer:
             )
         cluster.run(config.settle)
 
-        report = cluster.check_properties()
+        report = checker_state.report()
+        if not report.ok:
+            # Cross-validate: the stock post-hoc checker stays the
+            # authoritative oracle on anything the incremental state
+            # flags.  A disagreement is a checker bug, reported loudly.
+            posthoc = cluster.check_properties()
+            if (posthoc.violated_properties()
+                    != report.violated_properties()):
+                return _RunOutcome(
+                    chooser, schedule,
+                    error="incremental/post-hoc checker mismatch: %s != %s"
+                    % (sorted(report.violated_properties()),
+                       sorted(posthoc.violated_properties())),
+                )
+            report = posthoc
         states = {
             tuple(sorted(state.items()))
             for state in cluster.states().values()

@@ -39,28 +39,40 @@ class Envelope:
 
 def payload_size(payload):
     """Estimate the wire size of *payload* in bytes, including headers."""
-    return HEADER_BYTES + _body_size(payload)
+    cls = payload.__class__
+    sizer = _SIZERS.get(cls)
+    if sizer is None:
+        sizer = _SIZERS[cls] = _make_sizer(cls)
+    return HEADER_BYTES + sizer(payload)
 
 
 def _body_size(obj):
-    if obj is None:
-        return 1
-    if isinstance(obj, bool):
-        return 1
-    if isinstance(obj, int):
-        return 8
-    if isinstance(obj, float):
-        return 8
-    if isinstance(obj, (bytes, bytearray)):
-        return len(obj)
-    if isinstance(obj, str):
-        return len(obj.encode("utf-8"))
-    if isinstance(obj, (list, tuple, set, frozenset)):
-        return 8 + sum(_body_size(item) for item in obj)
-    if isinstance(obj, dict):
-        return 8 + sum(
-            _body_size(key) + _body_size(value) for key, value in obj.items()
-        )
+    cls = obj.__class__
+    sizer = _SIZERS.get(cls)
+    if sizer is None:
+        sizer = _SIZERS[cls] = _make_sizer(cls)
+    return sizer(obj)
+
+
+def _str_size(obj):
+    return len(obj.encode("utf-8"))
+
+
+def _container_size(obj):
+    return 8 + sum(_body_size(item) for item in obj)
+
+
+def _dict_size(obj):
+    return 8 + sum(
+        _body_size(key) + _body_size(value) for key, value in obj.items()
+    )
+
+
+def _wire_size_call(obj):
+    return obj.wire_size()
+
+
+def _generic_size(obj):
     wire_size = getattr(obj, "wire_size", None)
     if callable(wire_size):
         return wire_size()
@@ -73,3 +85,31 @@ def _body_size(obj):
     if attrs is not None:
         return 8 + sum(_body_size(value) for value in attrs.values())
     return 16
+
+
+def _make_sizer(cls):
+    """Pick the sizing strategy for *cls* once; cached in ``_SIZERS``.
+
+    Which branch of the estimator applies is a property of the class,
+    not the instance, so the ``isinstance`` ladder runs once per payload
+    type instead of once per message.  Sizes themselves stay
+    per-instance (a 1 KiB write still costs more than an empty one).
+    """
+    if cls is type(None) or issubclass(cls, bool):
+        return lambda obj: 1
+    if issubclass(cls, (int, float)):
+        return lambda obj: 8
+    if issubclass(cls, (bytes, bytearray)):
+        return len
+    if issubclass(cls, str):
+        return _str_size
+    if issubclass(cls, (list, tuple, set, frozenset)):
+        return _container_size
+    if issubclass(cls, dict):
+        return _dict_size
+    if callable(getattr(cls, "wire_size", None)):
+        return _wire_size_call
+    return _generic_size
+
+
+_SIZERS = {}  # payload class -> body sizer (strategy resolved once)

@@ -86,6 +86,7 @@ class Network:
         self._node_bandwidth = {}  # node -> egress bytes/s override
         self._rng = sim.random.stream("network")
         self._msg_seq = 0         # monotone id linking net.send -> net.deliver
+        self._type_names = {}     # payload class -> __name__ (hot-path cache)
 
     # ------------------------------------------------------------------
     # Endpoint lifecycle
@@ -96,12 +97,22 @@ class Network:
 
         Re-registering (after a simulated restart) bumps the node's
         incarnation, which discards messages that were in flight to the
-        previous incarnation — the moral equivalent of a TCP reset.
+        previous incarnation — the moral equivalent of a TCP reset.  The
+        reset also retires the node's per-pair FIFO floors and NIC
+        bookkeeping: a fresh connection owes no ordering to packets of a
+        dead one, and without the purge a long campaign of client
+        restarts grows ``_last_arrival`` without bound.
         """
+        returning = node_id in self._handlers
         self._handlers[node_id] = handler
         self._alive[node_id] = True
         self._incarnation[node_id] = self._incarnation.get(node_id, 0) + 1
-        self._nic_free_at.setdefault(node_id, 0.0)
+        if returning:
+            last_arrival = self._last_arrival
+            for pair in [pair for pair in last_arrival
+                         if pair[0] == node_id or pair[1] == node_id]:
+                del last_arrival[pair]
+        self._nic_free_at[node_id] = 0.0
 
     def set_alive(self, node_id, alive):
         """Mark a node up or down without changing its handler."""
@@ -156,12 +167,37 @@ class Network:
         Messages to unknown, dead, or partitioned destinations are dropped
         silently (counted in stats), matching a connect failure.
         """
+        return self._send(src, dst, payload, payload_size(payload))
+
+    def broadcast(self, src, dsts, payload):
+        """Send the same payload to every node in *dsts* (serialised on
+        the source NIC, in iteration order).
+
+        The wire size is computed once for the whole fan-out — on the
+        leader commit path this is one structural walk per proposal
+        instead of one per follower.
+        """
         size = payload_size(payload)
-        self.stats.record_send(src, size, type(payload).__name__)
-        self._msg_seq += 1
-        envelope = Envelope(
-            src, dst, payload, size, self.sim.now, msg_id=self._msg_seq
-        )
+        send = self._send
+        for dst in dsts:
+            send(src, dst, payload, size)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _send(self, src, dst, payload, size):
+        """The per-message fast path; *size* is precomputed by callers."""
+        cls = payload.__class__
+        type_name = self._type_names.get(cls)
+        if type_name is None:
+            type_name = self._type_names[cls] = cls.__name__
+        self.stats.record_send(src, size, type_name)
+        msg_id = self._msg_seq + 1
+        self._msg_seq = msg_id
+        sim = self.sim
+        now = sim._now
+        envelope = Envelope(src, dst, payload, size, now, msg_id)
 
         if not self._alive.get(src, False):
             self._drop(envelope, src, "src-dead")
@@ -172,7 +208,8 @@ class Network:
         if not self.partitions.connected(src, dst):
             self._drop(envelope, dst, "partitioned")
             return envelope
-        if self.config.loss_rate and self._rng.random() < self.config.loss_rate:
+        config = self.config
+        if config.loss_rate and self._rng.random() < config.loss_rate:
             self._drop(envelope, dst, "loss")
             return envelope
 
@@ -180,48 +217,40 @@ class Network:
         if tracer.active:
             tracer.emit(
                 "net.send", node=src, dst=dst,
-                type=type(payload).__name__, size=size,
-                msg_id=envelope.msg_id, zxid=_payload_zxid(payload),
+                type=type_name, size=size,
+                msg_id=msg_id, zxid=_payload_zxid(payload),
             )
-        arrival = self._arrival_time(src, dst, size)
-        target_incarnation = self._incarnation[dst]
-        self.sim.schedule_at(
-            arrival, self._deliver, envelope, target_incarnation
-        )
-        return envelope
 
-    def broadcast(self, src, dsts, payload):
-        """Send the same payload to every node in *dsts* (serialised on
-        the source NIC, in iteration order)."""
-        for dst in dsts:
-            self.send(src, dst, payload)
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-
-    def _arrival_time(self, src, dst, size):
-        now = self.sim.now
-        if self.config.bandwidth_bps is not None:
-            bandwidth = self._node_bandwidth.get(
-                src, self.config.bandwidth_bps
-            )
-            start = max(now, self._nic_free_at.get(src, 0.0))
-            tx_done = start + size / bandwidth
+        # Arrival time, inlined (this runs once per message): NIC
+        # serialisation, link latency, jitter, then the per-pair FIFO
+        # floor.  The RNG is consulted in exactly the same order as the
+        # checks above, so seeded runs stay bit-identical.
+        if config.bandwidth_bps is not None:
+            bandwidth = self._node_bandwidth.get(src, config.bandwidth_bps)
+            free_at = self._nic_free_at.get(src, 0.0)
+            tx_done = (now if now > free_at else free_at) + size / bandwidth
             self._nic_free_at[src] = tx_done
         else:
             tx_done = now
-        base_latency = self._link_latency.get(
-            (src, dst), self.config.latency
-        )
-        arrival = tx_done + base_latency
-        if self.config.jitter:
-            arrival += self._rng.uniform(0.0, self.config.jitter)
+        if self._link_latency:
+            arrival = tx_done + self._link_latency.get(
+                (src, dst), config.latency
+            )
+        else:
+            arrival = tx_done + config.latency
+        if config.jitter:
+            arrival += self._rng.uniform(0.0, config.jitter)
         # Enforce FIFO per directed pair despite jitter.
-        floor = self._last_arrival.get((src, dst), 0.0) + _FIFO_EPSILON
-        arrival = max(arrival, floor)
-        self._last_arrival[(src, dst)] = arrival
-        return arrival
+        last_arrival = self._last_arrival
+        floor = last_arrival.get((src, dst), 0.0) + _FIFO_EPSILON
+        if arrival < floor:
+            arrival = floor
+        last_arrival[(src, dst)] = arrival
+
+        sim.schedule_at(
+            arrival, self._deliver, envelope, self._incarnation[dst]
+        )
+        return envelope
 
     def _drop(self, envelope, node, reason):
         """Account one dropped message (stats + optional trace event)."""

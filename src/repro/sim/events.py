@@ -9,19 +9,22 @@ class Event:
 
     Events are ordered by ``(time, seq)``; *seq* is a monotonically
     increasing tie-breaker assigned by the simulator so that two events
-    scheduled for the same instant fire in scheduling order.  Cancelled
-    events stay in the heap but are skipped when popped.
+    scheduled for the same instant fire in scheduling order.  The kernel
+    keeps its heap entries as ``(time, seq, event)`` tuples so ordering
+    never goes through these Python-level comparison methods on the hot
+    path; they are kept for inspection code that sorts events directly.
+    Cancelled events stay in the heap but are skipped when popped.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "on_cancel")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "kernel")
 
-    def __init__(self, time, seq, fn, args=()):
+    def __init__(self, time, seq, fn, args=(), kernel=None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
-        self.on_cancel = None  # kernel hook: keeps its live count exact
+        self.kernel = kernel  # owning Simulator: keeps its live count exact
 
     def cancel(self):
         """Prevent the event from firing; safe to call more than once."""
@@ -30,17 +33,28 @@ class Event:
         self.cancelled = True
         self.fn = None
         self.args = ()
-        hook = self.on_cancel
-        self.on_cancel = None
-        if hook is not None:
-            hook()
+        kernel = self.kernel
+        self.kernel = None
+        if kernel is not None:
+            # Inlined kernel._note_cancelled(): one counter bump keeps
+            # Simulator.pending() exact without a call per cancel.
+            kernel._cancelled += 1
 
     def fire(self):
-        """Invoke the callback unless the event was cancelled."""
+        """Invoke the callback unless the event was cancelled.
+
+        Consumes the event without routing through :meth:`cancel`: the
+        kernel accounts for fired events via its own counter, so firing
+        must not also bump the owner's cancellation count.
+        """
         if self.cancelled:
             return
-        fn, args = self.fn, self.args
-        self.cancel()
+        fn = self.fn
+        args = self.args
+        self.cancelled = True
+        self.fn = None
+        self.args = ()
+        self.kernel = None
         fn(*args)
 
     def __hash__(self):

@@ -6,6 +6,10 @@ from repro.common.errors import ReproError
 from repro.sim.events import Event
 from repro.sim.random import SplitRandom
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+_INF = float("inf")
+
 
 class SimulationLimitError(ReproError):
     """The simulator processed more events than the configured bound."""
@@ -45,15 +49,23 @@ class Simulator:
     seconds.  Components schedule callbacks with :meth:`schedule` (relative
     delay) or :meth:`schedule_at` (absolute time) and the loop runs them in
     timestamp order via :meth:`run`.
+
+    The heap holds ``(time, seq, event)`` tuples, so ordering is resolved
+    by C-level tuple comparison (``seq`` is unique, so the event object
+    itself is never compared).  Live-event accounting is three plain
+    counters — scheduled, cancelled, fired — kept exact by the events
+    themselves through a back-pointer, with no per-event hook closures.
     """
 
     def __init__(self, seed=0):
-        self._queue = []
+        self._queue = []         # heap of (time, seq, Event)
         self._seq = 0
         self._now = 0.0
         self._events_fired = 0
-        self._live = 0           # not-yet-cancelled events in the queue
+        self._scheduled = 0      # total schedule_at calls
+        self._cancelled = 0      # cancels of not-yet-fired events
         self._policy = None      # optional SchedulePolicy (tie-breaking)
+        self._pending_view = None  # cached iter_pending result
         self.random = SplitRandom(seed)
 
     @property
@@ -70,7 +82,13 @@ class Simulator:
         """Run ``fn(*args)`` after *delay* seconds of virtual time."""
         if delay < 0:
             raise ValueError("negative delay: %r" % delay)
-        return self.schedule_at(self._now + delay, fn, *args)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        self._scheduled += 1
+        event = Event(time, seq, fn, args, self)
+        _heappush(self._queue, (time, seq, event))
+        return event
 
     def schedule_at(self, time, fn, *args):
         """Run ``fn(*args)`` at absolute virtual *time*."""
@@ -78,15 +96,12 @@ class Simulator:
             raise ValueError(
                 "cannot schedule in the past: %r < now=%r" % (time, self._now)
             )
-        event = Event(time, self._seq, fn, args)
-        event.on_cancel = self._note_cancelled
-        self._seq += 1
-        self._live += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        self._scheduled += 1
+        event = Event(time, seq, fn, args, self)
+        _heappush(self._queue, (time, seq, event))
         return event
-
-    def _note_cancelled(self):
-        self._live -= 1
 
     def set_policy(self, policy):
         """Install (or with ``None`` remove) a :class:`SchedulePolicy`.
@@ -102,12 +117,11 @@ class Simulator:
     def pending(self):
         """Number of not-yet-cancelled events in the queue (O(1)).
 
-        Maintained incrementally: schedule_at counts up, and every
-        cancellation — explicit or the self-cancel inside
-        :meth:`~repro.sim.events.Event.fire` — counts down through the
-        event's ``on_cancel`` hook, so no heap scan is ever needed.
+        ``scheduled - cancelled - fired``: schedule_at counts up, every
+        cancellation counts through the event's kernel back-pointer, and
+        the run loop counts firings — so no heap scan is ever needed.
         """
-        return self._live
+        return self._scheduled - self._cancelled - self._events_fired
 
     def iter_pending(self):
         """Not-yet-cancelled queued events, in ``(time, seq)`` order.
@@ -116,33 +130,76 @@ class Simulator:
         the in-flight message set with it); mutating the yielded events
         other than via :meth:`~repro.sim.events.Event.cancel` is not
         supported.
+
+        The view is cached against the schedule/cancel/fire counters, so
+        repeated calls at the same queue state (the explorer fingerprints
+        an unchanged cluster more than once per decision step) cost a
+        tuple compare instead of a sort; building it is one C-level sort
+        of ``(time, seq, event)`` tuples, never a Python comparison.
         """
-        return sorted(event for event in self._queue if not event.cancelled)
+        key = (self._scheduled, self._cancelled, self._events_fired)
+        cached = self._pending_view
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        entries = [entry for entry in self._queue if not entry[2].cancelled]
+        entries.sort()
+        view = tuple(entry[2] for entry in entries)
+        self._pending_view = (key, view)
+        return view
 
     def run(self, until=None, max_events=None):
         """Process events in order.
 
         Stops when the queue drains, when virtual time would exceed *until*,
         or after *max_events* callbacks.  Returns the virtual time at which
-        the loop stopped.
+        the loop stopped.  *until* values at or before the current time
+        fire only already-due events (time never moves backwards).
         """
-        fired = 0
-        while self._queue:
-            event = self._queue[0]
-            if event.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if until is not None and event.time > until:
+        if until is not None and until < self._now:
+            until = self._now     # fast-exit floor: never rewind the clock
+        queue = self._queue
+        if until is not None and (not queue or queue[0][0] > until):
+            # Fast exit: nothing due on or before the horizon.  This is
+            # the common case for the polling loops in run_until().
+            if until > self._now:
                 self._now = until
-                return self._now
-            heapq.heappop(self._queue)
-            if self._policy is not None:
-                event = self._resolve_tie(event)
-            self._now = event.time
-            event.fire()
+            return self._now
+        heappop = _heappop
+        # Sentinel bounds instead of per-event None checks: an unbounded
+        # run compares against +inf, which is never exceeded.
+        bound = _INF if until is None else until
+        limit = _INF if max_events is None else max_events
+        fired = 0
+        # The policy is read once: set_policy is a between-runs operation
+        # (the explorer installs its InterleavingPolicy before run()).
+        policy = self._policy
+        while queue:
+            event_time, _seq, event = queue[0]
+            if event.cancelled:
+                heappop(queue)
+                continue
+            if event_time > bound:
+                self._now = until
+                return until
+            heappop(queue)
+            if policy is not None:
+                event = self._resolve_tie(event_time, event)
+                self._now = event_time
+                event.fire()
+            else:
+                # Inlined Event.fire(): consume the event and invoke the
+                # callback without a second method call per event.
+                self._now = event_time
+                fn = event.fn
+                args = event.args
+                event.cancelled = True
+                event.fn = None
+                event.args = ()
+                event.kernel = None
+                fn(*args)
             self._events_fired += 1
             fired += 1
-            if max_events is not None and fired >= max_events:
+            if fired >= limit:
                 raise SimulationLimitError(
                     "stopped after %d events at t=%.6f" % (fired, self._now)
                 )
@@ -150,7 +207,7 @@ class Simulator:
             self._now = until
         return self._now
 
-    def _resolve_tie(self, head):
+    def _resolve_tie(self, time, head):
         """Let the installed policy pick among all events tied with *head*.
 
         *head* has already been popped.  Gathers every other ready event
@@ -158,15 +215,18 @@ class Simulator:
         chosen one and pushes the rest back (their ``(time, seq)`` keys
         are unchanged, so relative order among the losers is preserved).
         """
+        queue = self._queue
         tied = [head]
-        while self._queue:
-            event = self._queue[0]
+        while queue:
+            entry = queue[0]
+            event = entry[2]
             if event.cancelled:
-                heapq.heappop(self._queue)
+                heapq.heappop(queue)
                 continue
-            if event.time != head.time:
+            if entry[0] != time:
                 break
-            tied.append(heapq.heappop(self._queue))
+            tied.append(event)
+            heapq.heappop(queue)
         if len(tied) == 1:
             return head
         index = self._policy.choose(tied)
@@ -176,7 +236,7 @@ class Simulator:
             )
         chosen = tied.pop(index)
         for event in tied:
-            heapq.heappush(self._queue, event)
+            heapq.heappush(queue, (event.time, event.seq, event))
         return chosen
 
     def run_for(self, duration):

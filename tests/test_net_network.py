@@ -191,3 +191,41 @@ def test_set_alive_unknown_node_rejected():
     _sim, net = make_net()
     with pytest.raises(ConfigError):
         net.set_alive(42, False)
+
+
+def test_restart_churn_keeps_fabric_state_bounded():
+    # A long campaign of crash/restart cycles must not grow the
+    # per-pair FIFO floors (or NIC bookkeeping) without bound: every
+    # re-register retires the node's dead-connection state.
+    sim, net = make_net(bandwidth_bps=1e6)
+    log = []
+    for node in (1, 2, 3):
+        net.register(node, collector(log, node))
+    for cycle in range(50):
+        net.broadcast(1, [2, 3], "tick")
+        net.send(2, 1, "ack")
+        sim.run()
+        net.set_alive(2, False)
+        net.register(2, collector(log, 2))   # simulated restart
+    assert len(net._last_arrival) <= 3 * 2   # directed pairs of 3 nodes
+    assert len(net._nic_free_at) == 3
+    # The fabric still works after the churn.
+    before = len(log)
+    net.send(1, 2, "after")
+    sim.run()
+    assert len(log) == before + 1
+
+
+def test_reregistration_resets_fifo_floor_and_nic():
+    sim, net = make_net(bandwidth_bps=1e3)   # slow NIC: visible backlog
+    log = []
+    net.register(1, collector(log, 1))
+    net.register(2, collector(log, 2))
+    for _ in range(5):
+        net.send(1, 2, "x" * 100)
+    assert net._nic_free_at[1] > 0.0
+    assert (1, 2) in net._last_arrival
+    net.register(1, collector(log, 1))       # node 1 restarts
+    assert net._nic_free_at[1] == 0.0
+    assert (1, 2) not in net._last_arrival
+    assert (2, 1) not in net._last_arrival

@@ -250,3 +250,59 @@ def test_iter_pending_is_ordered_and_skips_cancelled():
     gone = sim.schedule(1.5, lambda: None)
     gone.cancel()
     assert list(sim.iter_pending()) == [early, late]
+
+
+def test_run_for_zero_fires_only_already_due_events():
+    # Regression: `until` used to be checked only against the head
+    # event, so run_for(0) at a quiet moment still had to walk the
+    # heap; worse, an `until` in the past could misbehave.  A zero
+    # horizon must fire exactly the events due *now* and nothing else.
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "due")
+    sim.schedule(1.0, fired.append, "also-due")
+    sim.schedule(1.0000001, fired.append, "later")
+    sim.run(until=1.0)
+    assert fired == ["due", "also-due"]
+    assert sim.run_for(0) == 1.0
+    assert fired == ["due", "also-due"]     # nothing new
+    sim.run()
+    assert fired == ["due", "also-due", "later"]
+
+
+def test_run_until_in_the_past_never_rewinds_the_clock():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    assert sim.now == 5.0
+    assert sim.run(until=1.0) == 5.0        # clamped, not rewound
+    assert sim.now == 5.0
+
+
+def test_run_until_fast_exit_still_advances_time():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    # Horizon short of the head event: nothing fires, time advances.
+    assert sim.run(until=3.0) == 3.0
+    assert sim.events_fired == 0
+    # Empty-queue horizon advance.
+    sim.run()
+    assert sim.run(until=20.0) == 20.0
+
+
+def test_pending_counter_stays_exact_through_cancel_and_fire():
+    sim = Simulator()
+    a = sim.schedule(1.0, lambda: None)
+    b = sim.schedule(2.0, lambda: None)
+    sim.schedule(3.0, lambda: None)
+    assert sim.pending() == 3
+    b.cancel()
+    b.cancel()                               # double-cancel: one decrement
+    assert sim.pending() == 2
+    sim.run(until=1.0)
+    assert sim.pending() == 1
+    assert a.cancelled                       # consumed by firing
+    a.cancel()                               # cancel-after-fire: no-op
+    assert sim.pending() == 1
+    sim.run()
+    assert sim.pending() == 0
