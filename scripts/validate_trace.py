@@ -19,7 +19,13 @@ Checks every line against the format in docs/OBSERVABILITY.md:
   (``[epoch, counter]``, two non-negative integers) so the span
   builder (``repro profile``) can always correlate them;
 - wire-level ``net.*`` kinds carry a positive integer ``msg_id`` so
-  send/deliver/drop events pair up in the causality DAG.
+  send/deliver/drop events pair up in the causality DAG;
+- node-scoped kinds (everything except the cluster-wide
+  ``fault.partition`` / ``fault.heal``) carry an integer ``node`` —
+  an unattributed node-scoped event is useless to the health
+  monitor's per-node detectors;
+- per-node timestamps are monotonic too: events attributed to one
+  node never go backwards relative to that node's own stream.
 
 Exits 0 and prints a per-kind tally on success; exits 1 with the
 offending line number on the first violation.
@@ -40,7 +46,11 @@ KNOWN_KINDS = {
     "peer.state", "peer.looking", "peer.epoch", "peer.commit",
     "log.append", "log.durable", "log.flush",
     "fault.crash", "fault.recover", "fault.partition", "fault.heal",
+    "fault.slow_disk", "fault.restore_disk",
 }
+
+# Every kind is node-scoped except the cluster-wide fault events.
+NODE_REQUIRED = KNOWN_KINDS - {"fault.partition", "fault.heal"}
 
 # Commit-path kinds must carry a zxid so spans can correlate them.
 ZXID_REQUIRED = {
@@ -69,6 +79,7 @@ def validate(handle):
     """Yields nothing; raises ValueError at the first bad line."""
     counts = {}
     last_t = None
+    last_t_by_node = {}
     for lineno, line in enumerate(handle, start=1):
         line = line.strip()
         if not line:
@@ -87,17 +98,27 @@ def validate(handle):
         t = record["t"]
         if not isinstance(t, (int, float)) or isinstance(t, bool) or t < 0:
             raise ValueError("line %d: bad timestamp %r" % (lineno, t))
+        node = record["node"]
+        if node is not None and (
+            not isinstance(node, int) or isinstance(node, bool)
+        ):
+            raise ValueError("line %d: bad node %r" % (lineno, node))
+        # Per-node monotonicity first: a regression within one node's
+        # stream is the more precise diagnosis.
+        if node is not None:
+            node_last = last_t_by_node.get(node)
+            if node_last is not None and t < node_last:
+                raise ValueError(
+                    "line %d: node %d time went backwards (%r < %r)"
+                    % (lineno, node, t, node_last)
+                )
+            last_t_by_node[node] = t
         if last_t is not None and t < last_t:
             raise ValueError(
                 "line %d: time went backwards (%r < %r)"
                 % (lineno, t, last_t)
             )
         last_t = t
-        node = record["node"]
-        if node is not None and (
-            not isinstance(node, int) or isinstance(node, bool)
-        ):
-            raise ValueError("line %d: bad node %r" % (lineno, node))
         kind = record["kind"]
         if not isinstance(kind, str) or not KIND_RE.match(kind):
             raise ValueError("line %d: bad kind %r" % (lineno, kind))
@@ -105,6 +126,11 @@ def validate(handle):
             raise ValueError(
                 "line %d: undocumented kind %r (update the catalogue "
                 "and docs/OBSERVABILITY.md)" % (lineno, kind)
+            )
+        if node is None and kind in NODE_REQUIRED:
+            raise ValueError(
+                "line %d: node-scoped kind %s has node=null"
+                % (lineno, kind)
             )
         fields = record["fields"]
         if not isinstance(fields, dict):

@@ -34,14 +34,17 @@ from repro.harness import (
 from repro.mc import ExplorationResult, ExplorerConfig, explore_schedules
 from repro.obs import (
     CausalityGraph,
+    HealthMonitor,
     MetricsRegistry,
+    TimeSeries,
     Tracer,
     TxnSpan,
     build_spans,
     profile_trace,
+    run_health_check,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Cluster",
@@ -64,5 +67,8 @@ __all__ = [
     "build_spans",
     "profile_trace",
     "CausalityGraph",
+    "TimeSeries",
+    "HealthMonitor",
+    "run_health_check",
     "__version__",
 ]

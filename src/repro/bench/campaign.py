@@ -23,11 +23,11 @@ class RunOutcome:
 
     __slots__ = ("seed", "ok", "violations", "converged", "epochs",
                  "deliveries", "actions", "error", "schedule",
-                 "signature")
+                 "signature", "health")
 
     def __init__(self, seed, ok, violations, converged, epochs,
                  deliveries, actions, error=None, schedule=None,
-                 signature=()):
+                 signature=(), health=None):
         self.seed = seed
         self.ok = ok
         self.violations = violations
@@ -38,6 +38,7 @@ class RunOutcome:
         self.error = error
         self.schedule = schedule
         self.signature = signature
+        self.health = health    # HealthMonitor.summary() dict, or None
 
     @property
     def passed(self):
@@ -46,27 +47,47 @@ class RunOutcome:
 
 def run_adversarial_campaign(seeds, n_voters=3, steps=10,
                              step_interval=0.5, op_interval=0.02,
-                             leader_factory=None):
-    """Run one adversarial scenario per seed; returns [RunOutcome]."""
+                             leader_factory=None, with_health=False):
+    """Run one adversarial scenario per seed; returns [RunOutcome].
+
+    With ``with_health=True`` every run is traced (protocol events
+    only) and replayed through a
+    :class:`~repro.obs.health.HealthMonitor`, so each outcome carries
+    a health summary alongside the property verdict — the campaign's
+    answer to "it didn't violate anything, but was it *healthy*?".
+    """
     outcomes = []
     for seed in seeds:
         outcomes.append(
             _one_run(seed, n_voters, steps, step_interval, op_interval,
-                     leader_factory)
+                     leader_factory, with_health=with_health)
         )
     return outcomes
 
 
 def _one_run(seed, n_voters, steps, step_interval, op_interval,
-             leader_factory=None):
+             leader_factory=None, with_health=False):
     schedule = ActionSchedule.generate(
         seed, n_voters=n_voters, steps=steps,
         step_interval=step_interval, op_interval=op_interval,
     )
+    tracer = None
+    if with_health:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        tracer.disable("net.")
     result = replay_schedule(
         schedule, n_voters=n_voters, seed=seed, op_interval=op_interval,
-        leader_factory=leader_factory,
+        leader_factory=leader_factory, tracer=tracer,
     )
+    health = None
+    if tracer is not None:
+        from repro.obs.health import HealthMonitor
+
+        monitor = HealthMonitor()
+        monitor.feed(tracer.events).finish()
+        health = monitor.summary()
     return RunOutcome(
         seed=seed,
         ok=result.ok,
@@ -78,6 +99,7 @@ def _one_run(seed, n_voters, steps, step_interval, op_interval,
         error=result.error,
         schedule=schedule,
         signature=result.signature,
+        health=health,
     )
 
 
@@ -202,6 +224,7 @@ def render_comparison(zab_results, paxos_results):
 
 def render_campaign(outcomes):
     """Summary table plus a verdict line."""
+    with_health = any(outcome.health is not None for outcome in outcomes)
     rows = [
         (
             outcome.seed,
@@ -209,13 +232,23 @@ def render_campaign(outcomes):
             len(outcome.actions),
             max(outcome.epochs) if outcome.epochs else 0,
             outcome.deliveries,
+        )
+        + (
+            (
+                outcome.health["verdict"] if outcome.health is not None
+                else "-",
+            )
+            if with_health else ()
+        )
+        + (
             outcome.error or ", ".join(outcome.violations) or
             ("diverged" if not outcome.converged else ""),
         )
         for outcome in outcomes
     ]
     table = render_table(
-        ["seed", "verdict", "faults", "max epoch", "deliveries", "notes"],
+        ["seed", "verdict", "faults", "max epoch", "deliveries"]
+        + (["health"] if with_health else []) + ["notes"],
         rows,
         title="Adversarial campaign (%d runs)" % len(outcomes),
     )

@@ -6,6 +6,7 @@ runs without knowing which experiment produced them::
 
     {
       "schema": "repro-bench/v1",
+      "schema_version": 1,          # bumped on incompatible changes
       "name": "smoke",
       "params": {...},              # how the run was configured
       "metrics": {                  # flat, dot-keyed, numbers only
@@ -13,7 +14,8 @@ runs without knowing which experiment produced them::
         "latency.p50_ms": 0.55,
         "stage.quorum_wait.p99_ms": 0.75,
         ...
-      }
+      },
+      "health": {...}               # optional HealthMonitor summary
     }
 
 ``metrics`` values are plain numbers (or null when a stage was not
@@ -27,6 +29,11 @@ diff against it.
 import json
 
 SCHEMA = "repro-bench/v1"
+
+#: Bumped whenever the report layout changes incompatibly.  Readers
+#: (the regression gate) hard-fail on a mismatch rather than silently
+#: comparing metrics that may have changed meaning.
+SCHEMA_VERSION = 1
 
 #: Span stages promoted into bench metrics (p50/p99 each).
 _PROFILE_STAGES = ("log_fsync", "quorum_wait", "commit_latency", "e2e")
@@ -72,14 +79,24 @@ def profile_metrics(summary):
     return metrics
 
 
-def make_report(name, metrics, params=None):
-    """Assemble one schema-tagged report dict."""
-    return {
+def make_report(name, metrics, params=None, health=None):
+    """Assemble one schema-tagged report dict.
+
+    *health* is an optional
+    :meth:`~repro.obs.health.HealthMonitor.summary` dict; when given,
+    the artifact carries the run's health verdict alongside its
+    numbers.
+    """
+    report = {
         "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
         "name": name,
         "params": params or {},
         "metrics": metrics,
     }
+    if health is not None:
+        report["health"] = health
+    return report
 
 
 def write_report(report, path):
@@ -98,20 +115,33 @@ def load_report(path):
         raise ValueError(
             "%s: schema %r is not %r" % (path, report.get("schema"), SCHEMA)
         )
+    version = report.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            "%s: schema_version %r does not match this tree's %d — "
+            "regenerate the report with `repro bench --json` / "
+            "`repro profile --json` from the same checkout"
+            % (path, version, SCHEMA_VERSION)
+        )
     if not isinstance(report.get("metrics"), dict):
         raise ValueError("%s: missing metrics object" % path)
     return report
 
 
-def write_bench_report(result, name, path=None, params=None):
+def write_bench_report(result, name, path=None, params=None, health=None):
     """Emit ``BENCH_<name>.json`` for a bench run; returns the path."""
     merged = dict(result.params)
     merged.update(params or {})
-    report = make_report(name, bench_metrics(result), params=merged)
+    report = make_report(
+        name, bench_metrics(result), params=merged, health=health
+    )
     return write_report(report, path or "BENCH_%s.json" % name)
 
 
-def write_profile_report(summary, name, path=None, params=None):
+def write_profile_report(summary, name, path=None, params=None,
+                         health=None):
     """Emit ``BENCH_<name>.json`` for a profile run; returns the path."""
-    report = make_report(name, profile_metrics(summary), params=params)
+    report = make_report(
+        name, profile_metrics(summary), params=params, health=health
+    )
     return write_report(report, path or "BENCH_%s.json" % name)

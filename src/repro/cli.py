@@ -58,6 +58,14 @@ def cmd_experiment(args):
 def cmd_bench(args):
     if args.micro:
         return _cmd_bench_micro(args)
+    tracer = None
+    if args.json:
+        # A protocol-level trace lets the report carry a health
+        # summary; per-message net.* events are irrelevant to it.
+        from repro import obs
+
+        tracer = obs.Tracer()
+        tracer.disable("net.")
     result = run_broadcast_bench(
         args.servers,
         op_size=args.op_size,
@@ -66,6 +74,7 @@ def cmd_bench(args):
         seed=args.seed,
         bandwidth_bps=args.bandwidth * 1e6 / 8,
         disk="model" if args.disk else None,
+        tracer=tracer,
     )
     print("servers:      %d" % args.servers)
     print("throughput:   %.0f ops/s" % result.throughput)
@@ -92,10 +101,14 @@ def cmd_bench(args):
              metrics["net"]["messages_dropped"]))
     if args.json:
         from repro.bench import report as bench_report
+        from repro.obs.health import HealthMonitor
 
+        monitor = HealthMonitor()
+        monitor.feed(tracer.events).finish()
         path = bench_report.write_bench_report(
-            result, args.name, path=args.json
+            result, args.name, path=args.json, health=monitor.summary()
         )
+        print("health:       %s" % monitor.summary()["verdict"])
         print("report:       %s" % path)
     return 0
 
@@ -239,10 +252,16 @@ def cmd_profile(args):
                           % ((t - t0) * 1e3, node, label))
 
     if args.json:
+        from repro.obs.health import HealthMonitor
+
+        monitor = HealthMonitor()
+        monitor.feed(events).finish()
         path = bench_report.write_profile_report(
-            summary, args.name, path=args.json, params=params
+            summary, args.name, path=args.json, params=params,
+            health=monitor.summary(),
         )
         print()
+        print("health: %s" % monitor.summary()["verdict"])
         print("report: %s" % path)
     return 0
 
@@ -522,10 +541,76 @@ def cmd_campaign(args):
 
     seeds = range(args.first_seed, args.first_seed + args.seeds)
     outcomes = run_adversarial_campaign(
-        seeds, n_voters=args.servers, steps=args.steps
+        seeds, n_voters=args.servers, steps=args.steps,
+        with_health=args.health,
     )
     print(render_campaign(outcomes))
     return 0 if all(outcome.passed for outcome in outcomes) else 1
+
+
+def cmd_health(args):
+    import json
+
+    from repro import obs
+    from repro.obs.health import (
+        HealthMonitor, render_health, run_health_check,
+    )
+
+    monitor = HealthMonitor(window=args.window)
+    if args.trace:
+        # Offline: judge an existing JSONL capture.
+        try:
+            events = obs.load_jsonl(args.trace)
+        except (OSError, ValueError, KeyError) as exc:
+            print("cannot read %s: %s" % (args.trace, exc),
+                  file=sys.stderr)
+            return 2
+        monitor.feed(events).finish()
+        params = {"trace": args.trace, "window": args.window}
+    elif args.schedule:
+        # Offline: replay a declarative fault schedule, then judge
+        # its trace (same monitor semantics as a live run).
+        from repro.harness.replay import replay_schedule
+        from repro.harness.schedule import ActionSchedule
+
+        try:
+            schedule = ActionSchedule.load(args.schedule)
+        except (OSError, ValueError, KeyError) as exc:
+            print("cannot load %s: %s" % (args.schedule, exc),
+                  file=sys.stderr)
+            return 2
+        tracer = obs.Tracer()
+        tracer.disable("net.")
+        replay_schedule(schedule, tracer=tracer, disk="model")
+        monitor.feed(tracer.events).finish()
+        params = {"schedule": args.schedule, "window": args.window}
+    else:
+        try:
+            monitor = run_health_check(
+                scenario=args.scenario, servers=args.servers,
+                seed=args.seed, rate=args.rate, duration=args.duration,
+                window=args.window, monitor=monitor,
+            )
+        except Exception as exc:
+            print("health check failed: %s" % exc, file=sys.stderr)
+            return 2
+        params = {
+            "scenario": args.scenario,
+            "servers": args.servers,
+            "seed": args.seed,
+            "rate": args.rate,
+            "duration": args.duration,
+            "window": args.window,
+        }
+    print(render_health(monitor))
+    if args.json:
+        report = monitor.report(params=params)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print()
+        print("report: %s" % args.json)
+    return 0 if monitor.healthy else 1
 
 
 def cmd_info(_args):
@@ -690,7 +775,40 @@ def build_parser():
                             help="number of seeds (0..N-1)")
     p_campaign.add_argument("--first-seed", type=int, default=0)
     p_campaign.add_argument("--steps", type=int, default=10)
+    p_campaign.add_argument("--health", action="store_true",
+                            help="also run each trace through the "
+                                 "health monitor (adds a verdict "
+                                 "column)")
     p_campaign.set_defaults(fn=cmd_campaign)
+
+    p_health = sub.add_parser(
+        "health",
+        help="cluster health over virtual time: per-node timelines, "
+             "gray-failure detectors, SLO burn (exit 1 if a detector "
+             "is still firing)",
+    )
+    p_health.add_argument("--scenario", default="crash-recovery",
+                          choices=["crash-recovery", "slow-fsync"],
+                          help="canned scenario to run (default "
+                               "crash-recovery)")
+    p_health.add_argument("--servers", type=int, default=5)
+    p_health.add_argument("--seed", type=int, default=3)
+    p_health.add_argument("--rate", type=float, default=2000.0,
+                          help="open-loop offered load in ops/s")
+    p_health.add_argument("--duration", type=float, default=8.0,
+                          help="simulated seconds after stability")
+    p_health.add_argument("--window", type=float, default=0.25,
+                          help="detector window in virtual seconds")
+    p_health.add_argument("--trace", default=None, metavar="PATH",
+                          help="judge an existing JSONL trace instead "
+                               "of running a scenario")
+    p_health.add_argument("--schedule", default=None, metavar="PATH",
+                          help="replay an ActionSchedule JSON file and "
+                               "judge its trace")
+    p_health.add_argument("--json", default=None, metavar="PATH",
+                          help="write the machine-readable health.json "
+                               "here")
+    p_health.set_defaults(fn=cmd_health)
 
     p_info = sub.add_parser("info", help="inventory and usage")
     p_info.set_defaults(fn=cmd_info)

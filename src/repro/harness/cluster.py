@@ -104,6 +104,8 @@ class Cluster:
             )
         self.storages = {}
         self.peers = {}
+        self.disks = {}
+        self._disk_baseline = {}
         for peer_id in voters + observers:
             if disk == "model":
                 device = DiskModel(
@@ -116,6 +118,7 @@ class Cluster:
                 device = None
             else:
                 raise ConfigError("unknown disk mode: %r" % (disk,))
+            self.disks[peer_id] = device
             storage = PeerStorage(device, group_commit=group_commit)
             self.storages[peer_id] = storage
             self.peers[peer_id] = ZabPeer(
@@ -282,6 +285,40 @@ class Cluster:
     def heal(self):
         self.tracer.emit("fault.heal")
         self.network.partitions.heal()
+
+    def slow_disk(self, peer_id, factor=20.0):
+        """Gray failure: silently multiply one peer's fsync latency.
+
+        Requires a per-peer disk model (``disk="model"``); under
+        ``disk="shared"`` every peer shares the device, so slowing it
+        would not be a *gray* failure.  The peer keeps serving — only
+        its durability latency (and hence ACK lag) degrades, which is
+        exactly what the health monitor's straggler/disk-stall
+        detectors exist to catch.
+        """
+        device = self.disks.get(peer_id)
+        if device is None:
+            raise ConfigError(
+                "peer %r has no disk model (build the cluster with "
+                "disk=\"model\")" % (peer_id,)
+            )
+        if peer_id not in self._disk_baseline:
+            self._disk_baseline[peer_id] = device.fsync_latency
+        device.fsync_latency = self._disk_baseline[peer_id] * factor
+        self.tracer.emit(
+            "fault.slow_disk", node=peer_id, factor=factor,
+            fsync_latency=device.fsync_latency,
+        )
+
+    def restore_disk(self, peer_id):
+        """Undo :meth:`slow_disk` (no-op if the disk was never slowed)."""
+        baseline = self._disk_baseline.pop(peer_id, None)
+        if baseline is None:
+            return
+        self.disks[peer_id].fsync_latency = baseline
+        self.tracer.emit(
+            "fault.restore_disk", node=peer_id, fsync_latency=baseline,
+        )
 
     # ------------------------------------------------------------------
     # Verification

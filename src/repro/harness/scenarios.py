@@ -83,7 +83,7 @@ def crash_recovery_timeline(n_voters=5, seed=3, rate=2000, tracer=None,
                             metrics=None, follower_crash_at=2.0,
                             leader_crash_at=4.0, recover_at=6.0,
                             duration=8.0, bandwidth_bps=25e6,
-                            op_size=1024):
+                            op_size=1024, monitor=None):
     """The E3 anatomy run: load, follower crash, leader crash, recovery.
 
     Builds its own cluster (optionally instrumented with *tracer* /
@@ -92,7 +92,10 @@ def crash_recovery_timeline(n_voters=5, seed=3, rate=2000, tracer=None,
     schedule, recovers everyone, and lets service resume.  This is the
     scenario behind ``repro trace``: its event stream contains the
     full leader-crash anatomy — fault, election, sync strategy,
-    resumed commits.  Returns ``(cluster, driver, schedule)``.
+    resumed commits.  Pass a :class:`~repro.obs.health.HealthMonitor`
+    as *monitor* to watch the run live (it is attached before the
+    cluster boots, so window 0 starts at t=0).  Returns
+    ``(cluster, driver, schedule)``.
     """
     from repro.bench.runner import default_op_factory
     from repro.bench.workloads import OpenLoopDriver
@@ -106,7 +109,10 @@ def crash_recovery_timeline(n_voters=5, seed=3, rate=2000, tracer=None,
             bandwidth_bps=bandwidth_bps, latency=0.0002
         ),
         tracer=tracer, metrics=metrics,
-    ).start()
+    )
+    if monitor is not None:
+        monitor.attach(cluster)
+    cluster.start()
     cluster.run_until_stable(timeout=60.0)
     driver = OpenLoopDriver(
         cluster, rate, default_op_factory(op_size), op_size, warmup=0.0,
@@ -124,6 +130,65 @@ def crash_recovery_timeline(n_voters=5, seed=3, rate=2000, tracer=None,
     driver.stop()
     cluster.run(0.5)   # let in-flight operations finish
     return cluster, driver, schedule
+
+
+def slow_fsync_gray_failure(n_voters=5, seed=11, rate=2000, tracer=None,
+                            metrics=None, monitor=None, victim=None,
+                            slow_at=2.0, restore_at=6.0,
+                            slow_factor=20.0, duration=8.0,
+                            bandwidth_bps=25e6, op_size=1024,
+                            fsync_latency=0.0005):
+    """Gray-failure drill: one follower's log device silently degrades.
+
+    Every peer gets its own disk model; under load, the victim
+    follower's fsync latency is multiplied by *slow_factor* at
+    *slow_at* and restored at *restore_at* (pass ``None`` to leave it
+    degraded).  No checker property ever trips — commits keep flowing
+    through the healthy quorum — but the victim's ACK lag and fsync
+    wait balloon, which is the signature the health monitor's
+    straggler and disk-stall detectors must attribute to the victim
+    and *only* the victim.  The victim defaults to the lowest-id
+    follower of the elected leader (seed-determined).  Returns
+    ``(cluster, driver, victim)``.
+    """
+    from repro.bench.runner import default_op_factory
+    from repro.bench.workloads import OpenLoopDriver
+    from repro.harness.cluster import Cluster
+    from repro.net import NetworkConfig
+
+    cluster = Cluster(
+        n_voters, seed=seed,
+        net_config=NetworkConfig(
+            bandwidth_bps=bandwidth_bps, latency=0.0002
+        ),
+        disk="model", fsync_latency=fsync_latency,
+        tracer=tracer, metrics=metrics,
+    )
+    if monitor is not None:
+        monitor.attach(cluster)
+    cluster.start()
+    leader = cluster.run_until_stable(timeout=60.0)
+    if victim is None:
+        victim = min(
+            peer_id for peer_id in cluster.config.voters
+            if peer_id != leader.peer_id
+        )
+    driver = OpenLoopDriver(
+        cluster, rate, default_op_factory(op_size), op_size, warmup=0.0,
+    )
+    t0 = cluster.sim.now
+    cluster.sim.schedule_at(
+        t0 + slow_at, cluster.slow_disk, victim, slow_factor
+    )
+    if restore_at is not None:
+        cluster.sim.schedule_at(
+            t0 + restore_at, cluster.restore_disk, victim
+        )
+    driver.start()
+    cluster.run(duration)
+    driver.stop()
+    cluster.run(0.5)   # let in-flight operations finish
+    return cluster, driver, victim
 
 
 def measure_recovery_gap(cluster, rate_probe_interval=0.01, timeout=60.0):

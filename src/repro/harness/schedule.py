@@ -23,7 +23,14 @@ Action kinds and their targets:
 ``partition``     target = list of groups (lists of peer ids)
 ``heal``          target = None
 ``submit``        target = number of writes to burst-submit
+``slow_disk``     target = peer id (gray failure: 20× fsync latency)
+``restore_disk``  target = peer id
 ================  =====================================================
+
+``slow_disk`` / ``restore_disk`` require a cluster built with
+``disk="model"``; on clusters without per-peer disk models they are
+tolerated as no-ops, so shrunk or replayed schedules stay applicable
+everywhere.
 """
 
 import json
@@ -34,7 +41,11 @@ from repro.sim.random import SplitRandom
 KINDS = frozenset([
     "crash", "recover", "crash_leader", "crash_follower",
     "recover_all", "partition", "heal", "submit",
+    "slow_disk", "restore_disk",
 ])
+
+#: Multiplier ``slow_disk`` applies to the victim's fsync latency.
+SLOW_DISK_FACTOR = 20.0
 
 #: Adversary stream label; shared with the legacy campaign so schedules
 #: generated from seed N replay the exact runs the campaign used to do.
@@ -263,6 +274,14 @@ def apply_action(cluster, action):
     elif action.kind == "heal":
         cluster.heal()
         return "heal"
+    elif action.kind == "slow_disk":
+        if cluster.disks.get(action.target) is not None:
+            cluster.slow_disk(action.target, SLOW_DISK_FACTOR)
+            return "slow disk on peer %d" % action.target
+    elif action.kind == "restore_disk":
+        if cluster.disks.get(action.target) is not None:
+            cluster.restore_disk(action.target)
+            return "restore disk on peer %d" % action.target
     elif action.kind == "submit":
         leader = cluster.leader()
         if leader is not None:

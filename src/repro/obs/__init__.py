@@ -19,18 +19,33 @@ The measurement substrate for every layer of the reproduction:
 - :mod:`repro.obs.causality` — joins ``net.send``/``net.deliver``
   pairs by ``msg_id`` into a happens-before DAG and answers
   straggler / quorum-critical-follower questions.
+- :mod:`repro.obs.series` — :class:`TimeSeries` ring buffers and the
+  :class:`SeriesBank` registry: windowed per-node samples over virtual
+  time, the substrate of the health layer.
+- :mod:`repro.obs.health` — :class:`HealthMonitor` consumes the live
+  event stream (``Tracer.add_observer``) and maintains rolling
+  cluster health: leader availability, recovery-dip detection,
+  straggler/disk-stall gray-failure detectors, and SLO error budgets;
+  drives the ``repro health`` CLI via :func:`run_health_check`.
 
 Event kinds, metric names, and the trace file format are documented in
 ``docs/OBSERVABILITY.md``.
 """
 
 from repro.obs.causality import CausalityGraph
+from repro.obs.health import (
+    HealthMonitor,
+    Slo,
+    render_health,
+    run_health_check,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     MetricsRegistry,
     StreamingHistogram,
 )
+from repro.obs.series import SeriesBank, TimeSeries
 from repro.obs.spans import (
     STAGE_KEYS,
     TxnSpan,
@@ -76,4 +91,10 @@ __all__ = [
     "render_profile",
     "stage_histograms",
     "CausalityGraph",
+    "TimeSeries",
+    "SeriesBank",
+    "HealthMonitor",
+    "Slo",
+    "render_health",
+    "run_health_check",
 ]

@@ -226,7 +226,13 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
 
     def snapshot(self):
-        """One plain dict of everything, safe to embed in reports."""
+        """One plain dict of everything, safe to embed in reports.
+
+        Every level is emitted in sorted key order — including the
+        dicts returned by providers, recursively — so two snapshots of
+        identical state serialise to identical JSON and diff cleanly
+        (health.json and bench artifacts rely on this).
+        """
         data = {
             "counters": {
                 name: counter.value
@@ -242,5 +248,22 @@ class MetricsRegistry:
             },
         }
         for name, provider in sorted(self._providers.items()):
-            data[name] = provider()
+            data[name] = _deep_sorted(provider())
         return data
+
+
+def _deep_sorted(value):
+    """Copy *value* with every nested dict rebuilt in sorted key order.
+
+    Mixed-type keys (e.g. ints and strings) fall back to sorting by
+    ``repr`` rather than failing — the order only has to be stable.
+    """
+    if isinstance(value, dict):
+        try:
+            keys = sorted(value)
+        except TypeError:
+            keys = sorted(value, key=repr)
+        return {key: _deep_sorted(value[key]) for key in keys}
+    if isinstance(value, (list, tuple)):
+        return [_deep_sorted(item) for item in value]
+    return value

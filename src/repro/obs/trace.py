@@ -21,6 +21,13 @@ Two properties matter for a tracing layer that sits on hot paths:
   soak can keep rare protocol transitions without drowning in
   per-message traffic.
 
+Live consumers (the :mod:`repro.obs.series` sampler, the
+:class:`~repro.obs.health.HealthMonitor`) subscribe with
+:meth:`Tracer.add_observer`: every recorded event is handed to each
+observer synchronously, in registration order, so derived state is a
+pure function of the (virtual-time-ordered) event stream and stays
+bit-deterministic across runs.
+
 Traces serialise to JSON Lines — one event object per line — via
 :func:`dump_jsonl` / :func:`load_jsonl` and round-trip losslessly.
 """
@@ -92,6 +99,7 @@ class Tracer:
         self.events = []
         self._only = None if kinds is None else set(kinds)
         self._disabled = set()
+        self._observers = []
 
     # ------------------------------------------------------------------
     # Wiring
@@ -100,6 +108,26 @@ class Tracer:
     def bind(self, sim):
         """Stamp subsequent events with *sim*'s virtual clock."""
         self._clock = lambda: sim.now
+        return self
+
+    def add_observer(self, fn):
+        """Call ``fn(event)`` for every subsequently recorded event.
+
+        Observers run synchronously at emit time, in registration
+        order, *after* the event has been appended — so an observer
+        sees exactly the recorded stream (filtered kinds never reach
+        it).  This is the live-feed seam the time-series and health
+        layers attach to.
+        """
+        self._observers.append(fn)
+        return self
+
+    def remove_observer(self, fn):
+        """Detach a previously added observer (no-op if absent)."""
+        try:
+            self._observers.remove(fn)
+        except ValueError:
+            pass
         return self
 
     # ------------------------------------------------------------------
@@ -137,7 +165,10 @@ class Tracer:
             return
         if self._only is not None and not _matches(kind, self._only):
             return
-        self.events.append(TraceEvent(self._clock(), node, kind, fields))
+        event = TraceEvent(self._clock(), node, kind, fields)
+        self.events.append(event)
+        for observer in self._observers:
+            observer(event)
 
     def clear(self):
         """Forget all recorded events."""

@@ -83,14 +83,19 @@ class TxnLog:
             if tracer.active:
                 tracer.emit(
                     "log.durable", node=self._trace_node,
-                    zxid=zxid.as_tuple(),
+                    zxid=zxid.as_tuple(), wait=0.0,
                 )
             if callback is not None:
                 callback()
             return
-        self._pending.append((record, callback))
+        self._pending.append((record, callback, self._now()))
         if not self._flushing:
             self._start_flush()
+
+    def _now(self):
+        """The disk model's virtual clock (0.0 without one)."""
+        sim = getattr(self._disk, "sim", None)
+        return sim.now if sim is not None else 0.0
 
     def _start_flush(self):
         if self._group_commit:
@@ -102,7 +107,7 @@ class TxnLog:
         self._inflight = batch
         self._flushing = True
         generation = self._generation
-        total = sum(record.size for record, _ in batch)
+        total = sum(record.size for record, _cb, _t in batch)
         self._disk.write(total, lambda: self._on_flush(batch, generation))
 
     def _on_flush(self, batch, generation):
@@ -112,20 +117,22 @@ class TxnLog:
         self._inflight = []
         self.flushes += 1
         tracer = self._tracer
+        now = self._now()
         if tracer.active and batch:
             tracer.emit(
                 "log.flush", node=self._trace_node,
                 records=len(batch),
-                bytes=sum(record.size for record, _ in batch),
+                bytes=sum(record.size for record, _cb, _t in batch),
             )
-        for record, callback in batch:
+        for record, callback, appended_at in batch:
             self._install(record)
             if tracer.active:
                 tracer.emit(
                     "log.durable", node=self._trace_node,
                     zxid=record.zxid.as_tuple(),
+                    wait=now - appended_at,
                 )
-        for _, callback in batch:
+        for _record, callback, _t in batch:
             if callback is not None:
                 callback()
         if self._pending:

@@ -69,6 +69,11 @@ class _Proposal:
         self.quorum_src = None   # the peer whose ACK completed it
 
 
+#: How many propose timestamps a leader retains for late-ACK
+#: attribution (see ``LeaderContext._recent_propose_t``).
+_RECENT_PROPOSE_CAP = 4096
+
+
 class LeaderContext:
     """Drives one leadership attempt of *peer*."""
 
@@ -100,6 +105,11 @@ class LeaderContext:
         self.acks_received = 0     # proposal ACKs counted (all voters)
         self.sync_modes = {}       # sync mode -> count of learners served
         self._sync_waiters = []    # (barrier_zxid, peer_id, cookie)
+        # Propose times of recent zxids, kept past commit so ACKs that
+        # arrive *after* the quorum already committed (the straggler
+        # signature) can still be lag-attributed in the trace.  Only
+        # populated when tracing is on; bounded, insertion-ordered.
+        self._recent_propose_t = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -410,6 +420,11 @@ class LeaderContext:
             )
         proposal = _Proposal(txn, request.size, self.peer.sim.now)
         self.proposals[zxid] = proposal
+        if tracer.active:
+            recent = self._recent_propose_t
+            recent[zxid] = proposal.proposed_at
+            if len(recent) > _RECENT_PROPOSE_CAP:
+                del recent[next(iter(recent))]
         message = messages.Propose(zxid, txn, request.size)
         for handle in self.handles.values():
             if handle.in_stream and not handle.is_observer:
@@ -422,6 +437,19 @@ class LeaderContext:
     def _on_ack(self, src, zxid):
         proposal = self.proposals.get(zxid)
         if proposal is None or not self.config.is_voter(src):
+            # An ACK for an already-committed proposal: protocol-wise a
+            # no-op, but a *late* ACK from a voter is exactly how a
+            # straggling follower shows up at the leader, so it still
+            # gets lag-attributed in the trace for the health monitor.
+            tracer = self.peer.tracer
+            if tracer.active and self.config.is_voter(src):
+                proposed_at = self._recent_propose_t.get(zxid)
+                if proposed_at is not None:
+                    tracer.emit(
+                        "leader.ack", node=self.peer.peer_id,
+                        zxid=zxid.as_tuple(), src=src,
+                        lag=self.peer.sim.now - proposed_at, late=True,
+                    )
             return
         handle = self.handles.get(src)
         if handle is not None:
@@ -433,6 +461,7 @@ class LeaderContext:
             tracer.emit(
                 "leader.ack", node=self.peer.peer_id,
                 zxid=zxid.as_tuple(), src=src,
+                lag=self.peer.sim.now - proposal.proposed_at,
             )
         if (
             proposal.quorum_at is None
@@ -445,6 +474,7 @@ class LeaderContext:
                     "leader.quorum", node=self.peer.peer_id,
                     zxid=zxid.as_tuple(), src=src,
                     acks=len(proposal.acks),
+                    lag=proposal.quorum_at - proposal.proposed_at,
                 )
         self._try_commit()
 

@@ -105,8 +105,8 @@ def _baseline_payload(metrics, tolerance=0.15, tolerances=None):
 
 
 def _report_payload(metrics):
-    return {"schema": SCHEMA, "name": "smoke", "params": {},
-            "metrics": metrics}
+    return {"schema": SCHEMA, "schema_version": 1, "name": "smoke",
+            "params": {}, "metrics": metrics}
 
 
 def test_gate_accepts_within_tolerance(tmp_path, gate, capsys):
@@ -166,7 +166,8 @@ def test_gate_zero_baseline_flags_nonzero_run(tmp_path, gate):
 def test_gate_unknown_report_name_fails(tmp_path, gate, capsys):
     baseline = _write(tmp_path, "baseline.json", _baseline_payload({}))
     report = _write(tmp_path, "BENCH_other.json", {
-        "schema": SCHEMA, "name": "other", "params": {}, "metrics": {},
+        "schema": SCHEMA, "schema_version": 1, "name": "other",
+        "params": {}, "metrics": {},
     })
     assert gate.main([report, "--baseline", baseline]) == 1
     assert "no baseline entry" in capsys.readouterr().out
@@ -264,3 +265,87 @@ def test_validator_accepts_real_profile_dump(tmp_path, validator):
         counts = validator.validate(handle)
     assert counts["leader.quorum"] == counts["leader.commit"]
     assert counts["net.send"] >= counts["net.deliver"]
+
+
+def test_validator_rejects_per_node_time_regression(validator):
+    # Interleaved nodes keep the global stream monotonic while node 1's
+    # own stream goes backwards — the per-node check must name node 1.
+    lines = [
+        _line("peer.commit", {"zxid": [1, 1]}, t=0.5, node=1),
+        _line("peer.commit", {"zxid": [1, 1]}, t=0.5, node=2),
+        _line("peer.commit", {"zxid": [1, 2]}, t=0.4, node=1),
+    ]
+    with pytest.raises(ValueError) as excinfo:
+        validator.validate(io.StringIO("\n".join(lines)))
+    assert "node 1 time went backwards" in str(excinfo.value)
+
+
+def test_validator_global_regression_without_node_overlap(validator):
+    lines = [
+        _line("peer.commit", {"zxid": [1, 1]}, t=0.5, node=1),
+        _line("peer.commit", {"zxid": [1, 1]}, t=0.4, node=2),
+    ]
+    with pytest.raises(ValueError) as excinfo:
+        validator.validate(io.StringIO("\n".join(lines)))
+    assert "time went backwards" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("kind,fields", [
+    ("peer.commit", {"zxid": [1, 1]}),
+    ("leader.established", {"epoch": 2}),
+    ("fault.crash", {}),
+    ("fault.slow_disk", {"factor": 20.0}),
+])
+def test_validator_rejects_null_node_on_node_scoped_kinds(
+    validator, kind, fields
+):
+    record = json.loads(_line(kind, fields))
+    record["node"] = None
+    with pytest.raises(ValueError) as excinfo:
+        validator.validate(io.StringIO(json.dumps(record)))
+    assert "node=null" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("kind", ["fault.partition", "fault.heal"])
+def test_validator_allows_null_node_on_cluster_faults(validator, kind):
+    record = json.loads(_line(kind, {"groups": [[1], [2, 3]]}))
+    record["node"] = None
+    counts = validator.validate(io.StringIO(json.dumps(record)))
+    assert counts[kind] == 1
+
+
+def test_validator_accepts_disk_fault_kinds(validator):
+    lines = [
+        _line("fault.slow_disk", {"factor": 20.0}, node=2),
+        _line("fault.restore_disk", {}, node=2),
+    ]
+    counts = validator.validate(io.StringIO("\n".join(lines)))
+    assert counts["fault.slow_disk"] == 1
+
+
+def test_load_report_rejects_wrong_schema_version(tmp_path):
+    report = make_report("demo", {"throughput_ops": 1.0})
+    report["schema_version"] = 99
+    path = str(tmp_path / "BENCH_demo.json")
+    write_report(report, path)
+    with pytest.raises(ValueError) as excinfo:
+        load_report(path)
+    message = str(excinfo.value)
+    assert "schema_version" in message
+    assert "regenerate" in message
+
+
+def test_load_report_rejects_missing_schema_version(tmp_path):
+    report = make_report("demo", {"throughput_ops": 1.0})
+    del report["schema_version"]
+    path = str(tmp_path / "BENCH_demo.json")
+    write_report(report, path)
+    with pytest.raises(ValueError):
+        load_report(path)
+
+
+def test_make_report_embeds_health_summary():
+    health = {"verdict": "healthy", "firings": {}, "active": []}
+    report = make_report("demo", {"x": 1.0}, health=health)
+    assert report["health"]["verdict"] == "healthy"
+    assert make_report("demo", {"x": 1.0}).get("health") is None

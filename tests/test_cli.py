@@ -102,3 +102,55 @@ def test_campaign_command(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_health_scenario_json(capsys, tmp_path):
+    import json
+
+    path = str(tmp_path / "health.json")
+    assert main(["health", "--rate", "400", "--json", path]) == 0
+    out = capsys.readouterr().out
+    assert "verdict: healthy" in out
+    assert "recovery_dip" in out
+    with open(path) as handle:
+        report = json.load(handle)
+    assert report["schema"] == "repro-health/v1"
+    assert report["verdict"] == "healthy"
+    assert report["params"]["scenario"] == "crash-recovery"
+
+
+def test_health_exit_1_while_detector_firing(capsys):
+    # End the run mid-outage: the new epoch never commits, so the
+    # recovery dip is still open when the monitor freezes.
+    assert main(["health", "--rate", "400", "--duration", "4.2"]) == 1
+    out = capsys.readouterr().out
+    assert "STILL FIRING" in out
+    assert "verdict: degraded" in out
+
+
+def test_health_offline_trace(capsys, tmp_path):
+    from repro.harness.scenarios import crash_recovery_timeline
+    from repro.obs import Tracer, dump_jsonl
+
+    tracer = Tracer()
+    tracer.disable("net.")
+    crash_recovery_timeline(n_voters=3, seed=1, rate=200, duration=0.5,
+                            tracer=tracer, follower_crash_at=None,
+                            leader_crash_at=None, recover_at=None)
+    trace = str(tmp_path / "run.jsonl")
+    dump_jsonl(tracer.events, trace)
+    assert main(["health", "--trace", trace]) == 0
+    assert "verdict: healthy" in capsys.readouterr().out
+
+
+def test_health_missing_trace_is_usage_error(capsys, tmp_path):
+    missing = str(tmp_path / "nope.jsonl")
+    assert main(["health", "--trace", missing]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_campaign_health_column(capsys):
+    assert main(["campaign", "--servers", "3", "--seeds", "1",
+                 "--steps", "3", "--health"]) == 0
+    out = capsys.readouterr().out
+    assert "health" in out

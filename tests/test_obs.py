@@ -440,3 +440,64 @@ def test_dump_jsonl_creates_file_atomically(tmp_path):
     assert load_jsonl(str(path)) == events
     # No temp droppings next to the output.
     assert list(tmp_path.iterdir()) == [path]
+
+
+def test_registry_snapshot_deep_sorts_provider_dicts():
+    import json
+
+    registry = MetricsRegistry()
+    registry.register_provider("zab", lambda: {
+        "zeta": 1,
+        "alpha": {"b": [{"y": 1, "x": 2}], "a": 3},
+        "mixed": {2: "two", "1": "one"},
+        "tup": (3, {"k2": 1, "k1": 2}),
+    })
+    snap = registry.snapshot()
+    assert list(snap["zab"]) == ["alpha", "mixed", "tup", "zeta"]
+    assert list(snap["zab"]["alpha"]) == ["a", "b"]
+    assert list(snap["zab"]["alpha"]["b"][0]) == ["x", "y"]
+    # Mixed-type keys fall back to repr order instead of raising.
+    assert list(snap["zab"]["mixed"]) == ["1", 2]
+    # Tuples become lists so the whole snapshot is JSON-safe.
+    assert snap["zab"]["tup"] == [3, {"k1": 2, "k2": 1}]
+    json.dumps(snap, default=repr)
+    # Two snapshots of identical state serialise identically even when
+    # the provider returns keys in a different insertion order.
+    registry2 = MetricsRegistry()
+    registry2.register_provider("zab", lambda: {
+        "mixed": {"1": "one", 2: "two"},
+        "tup": (3, {"k1": 2, "k2": 1}),
+        "alpha": {"a": 3, "b": [{"x": 2, "y": 1}]},
+        "zeta": 1,
+    })
+    assert repr(registry2.snapshot()) == repr(snap)
+
+
+def test_phase_spans_with_observer_nodes():
+    """Observer (non-voting) peers appear in the trace — synced by the
+    leader and committing — without perturbing span reconstruction."""
+    from repro.harness.cluster import Cluster
+
+    tracer = Tracer()
+    tracer.disable("net.")
+    cluster = Cluster(3, n_observers=1, seed=7, tracer=tracer).start()
+    cluster.run_until_stable()
+    for k in range(5):
+        cluster.submit_and_wait(("put", "k%d" % k, k))
+    (observer_id,) = cluster.config.observers
+    spans = phase_spans(tracer.events)
+    assert len(spans) == 1
+    (span,) = spans
+    assert span["leader"] in cluster.config.voters
+    # The observer replicates and commits like any learner.
+    observer_commits = sum(
+        1 for e in tracer.events
+        if e.kind == "peer.commit" and e.node == observer_id
+    )
+    assert observer_commits >= 5
+    # The span's commit count is the leader's transaction count: the
+    # observer's deliveries must not inflate it.
+    assert span["commits"] == 5
+    assert sum(span["sync_modes"].values()) >= 1
+    assert span["established_at"] is not None
+    assert span["end"] is None or span["end"] >= span["established_at"]
