@@ -19,14 +19,14 @@ Run with::
 from repro.app.dedup import DedupStateMachine
 from repro.app.kvstore import KVStateMachine
 from repro.client import Client
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 
 
 def main():
-    cluster = Cluster(
+    cluster = Cluster(ClusterConfig(
         n_voters=3, seed=23,
         app_factory=lambda: DedupStateMachine(KVStateMachine),
-    ).start()
+    )).start()
     cluster.run_until_stable(timeout=30)
     print("ledger service up; leader is peer %d"
           % cluster.leader().peer_id)

@@ -14,14 +14,14 @@ Run with::
 
 from repro.app import DataTreeStateMachine, WatchManager
 from repro.client import Client
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 
 
 def main():
-    cluster = Cluster(
+    cluster = Cluster(ClusterConfig(
         n_voters=3, n_observers=1, seed=11,
         app_factory=DataTreeStateMachine,
-    ).start()
+    )).start()
     cluster.run_until_stable(timeout=30)
     leader_id = cluster.leader().peer_id
     observer = cluster.peers[4]

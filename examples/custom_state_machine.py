@@ -16,7 +16,7 @@ Run with::
 """
 
 from repro.app import StateMachine
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 
 
 class TaskSchedulerSM(StateMachine):
@@ -118,9 +118,9 @@ class TaskSchedulerSM(StateMachine):
 
 
 def main():
-    cluster = Cluster(
+    cluster = Cluster(ClusterConfig(
         n_voters=3, seed=41, app_factory=TaskSchedulerSM,
-    ).start()
+    )).start()
     cluster.run_until_stable(timeout=30)
     print("task scheduler replicated on 3 peers; leader is peer %d"
           % cluster.leader().peer_id)

@@ -14,7 +14,7 @@ Run with::
 """
 
 from repro.app import DataTreeStateMachine
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 
 
 class LockClient:
@@ -56,9 +56,9 @@ class LockClient:
 
 
 def main():
-    cluster = Cluster(
+    cluster = Cluster(ClusterConfig(
         n_voters=3, seed=7, app_factory=DataTreeStateMachine
-    ).start()
+    )).start()
     cluster.run_until_stable(timeout=30)
     cluster.submit_and_wait(("create", "/locks", b"", "", None))
     print("lock root created; leader is peer %d"

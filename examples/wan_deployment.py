@@ -15,7 +15,7 @@ Run with::
     python examples/wan_deployment.py
 """
 
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.net import NetworkConfig
 
 
@@ -64,11 +64,12 @@ def wire_topology(cluster):
 
 
 def main():
-    cluster = Cluster(
-        5, seed=17, net_config=NetworkConfig(latency=0.0005, jitter=0.0),
+    cluster = Cluster(ClusterConfig(
+        n_voters=5, seed=17,
+        net=NetworkConfig(latency=0.0005, jitter=0.0),
         # WAN deployments need slower failure detection.
-        tick=0.5, sync_limit=4, init_limit=20,
-    ).start()
+        zab={"tick": 0.5, "sync_limit": 4, "init_limit": 20},
+    )).start()
     wire_topology(cluster)
     cluster.run_until_stable(timeout=120)
     leader = cluster.leader()

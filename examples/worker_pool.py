@@ -14,16 +14,16 @@ Run with::
 
 from repro.app import DataTreeStateMachine
 from repro.client import Client
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.recipes import DistributedLock, DoubleBarrier, GroupMembership
 
 WORKERS = 3
 
 
 def main():
-    cluster = Cluster(
-        3, seed=31, app_factory=DataTreeStateMachine,
-    ).start()
+    cluster = Cluster(ClusterConfig(
+        n_voters=3, seed=31, app_factory=DataTreeStateMachine,
+    )).start()
     cluster.run_until_stable(timeout=30)
     for root in ("/group", "/barrier", "/lock"):
         cluster.submit_and_wait(("create", root, b"", "", None))

@@ -27,11 +27,16 @@ from repro.client import Client
 from repro.harness import (
     ActionSchedule,
     Cluster,
+    ClusterConfig,
     FaultSchedule,
     replay_schedule,
     shrink_schedule,
 )
 from repro.mc import ExplorationResult, ExplorerConfig, explore_schedules
+from repro.zab.dissemination import (
+    DISSEMINATION_TOPOLOGIES,
+    DisseminationStrategy,
+)
 from repro.obs import (
     CausalityGraph,
     HealthMonitor,
@@ -44,11 +49,14 @@ from repro.obs import (
     run_health_check,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Cluster",
+    "ClusterConfig",
     "Client",
+    "DisseminationStrategy",
+    "DISSEMINATION_TOPOLOGIES",
     "FaultSchedule",
     "ActionSchedule",
     "replay_schedule",

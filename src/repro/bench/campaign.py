@@ -14,6 +14,7 @@ tests.
 """
 
 from repro.bench.formats import render_table
+from repro.harness.cluster import Cluster
 from repro.harness.replay import replay_schedule
 from repro.harness.schedule import ActionSchedule
 
@@ -47,7 +48,8 @@ class RunOutcome:
 
 def run_adversarial_campaign(seeds, n_voters=3, steps=10,
                              step_interval=0.5, op_interval=0.02,
-                             leader_factory=None, with_health=False):
+                             leader_factory=None, with_health=False,
+                             dissemination="leader-direct"):
     """Run one adversarial scenario per seed; returns [RunOutcome].
 
     With ``with_health=True`` every run is traced (protocol events
@@ -55,18 +57,22 @@ def run_adversarial_campaign(seeds, n_voters=3, steps=10,
     :class:`~repro.obs.health.HealthMonitor`, so each outcome carries
     a health summary alongside the property verdict — the campaign's
     answer to "it didn't violate anything, but was it *healthy*?".
+    ``dissemination`` runs the whole campaign under a non-default
+    propagation topology (``repro.DISSEMINATION_TOPOLOGIES``).
     """
     outcomes = []
     for seed in seeds:
         outcomes.append(
             _one_run(seed, n_voters, steps, step_interval, op_interval,
-                     leader_factory, with_health=with_health)
+                     leader_factory, with_health=with_health,
+                     dissemination=dissemination)
         )
     return outcomes
 
 
 def _one_run(seed, n_voters, steps, step_interval, op_interval,
-             leader_factory=None, with_health=False):
+             leader_factory=None, with_health=False,
+             dissemination="leader-direct"):
     schedule = ActionSchedule.generate(
         seed, n_voters=n_voters, steps=steps,
         step_interval=step_interval, op_interval=op_interval,
@@ -80,6 +86,7 @@ def _one_run(seed, n_voters, steps, step_interval, op_interval,
     result = replay_schedule(
         schedule, n_voters=n_voters, seed=seed, op_interval=op_interval,
         leader_factory=leader_factory, tracer=tracer,
+        dissemination=dissemination,
     )
     health = None
     if tracer is not None:

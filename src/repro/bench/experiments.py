@@ -17,8 +17,9 @@ from repro.bench.runner import (
     run_broadcast_bench,
 )
 from repro.bench.workloads import OpenLoopDriver
-from repro.harness import Cluster, FaultSchedule
+from repro.harness import Cluster, ClusterConfig, FaultSchedule
 from repro.net import NetworkConfig
+from repro.zab.dissemination import DISSEMINATION_TOPOLOGIES
 from repro.paxos import PaxosCluster
 from repro.storage import Snapshot, TxnLog
 from repro.zab.sync import make_sync_plan
@@ -68,6 +69,55 @@ def e1_throughput_vs_servers(sizes=(3, 5, 7, 9, 11, 13), duration=_DURATION,
 
 
 # ---------------------------------------------------------------------------
+# E1b: throughput vs. ensemble size, per dissemination topology
+# ---------------------------------------------------------------------------
+
+def e1b_topology_scaling(sizes=(3, 5, 7, 9, 11, 13),
+                         topologies=DISSEMINATION_TOPOLOGIES,
+                         duration=_DURATION, seed=1):
+    """The dissemination-strategy counterpart of E1: the same saturated
+    1 KiB workload under each propagation topology.
+
+    ``leader-direct`` pays (n-1) copies of every proposal out of the
+    leader's NIC, so its egress bytes/txn grow linearly with the
+    ensemble.  ``chain`` and ``ring`` relay hop-by-hop and keep leader
+    egress flat; ``tree`` sits in between (proportional to its fan-out).
+    """
+    rows = []
+    for topology in topologies:
+        for n in sizes:
+            result = run_broadcast_bench(
+                n, op_size=_OP_SIZE, outstanding=64, duration=duration,
+                warmup=_WARMUP, seed=seed, bandwidth_bps=_BANDWIDTH,
+                dissemination=topology,
+            )
+            stats = result.net_stats
+            leader_id = result.params["leader"]
+            leader_bytes = stats["bytes_sent"].get(
+                leader_id, max(stats["bytes_sent"].values())
+            )
+            committed = max(result.committed, 1)
+            rows.append({
+                "topology": topology,
+                "servers": n,
+                "throughput": result.throughput,
+                "leader_egress_bytes_per_txn": leader_bytes / committed,
+                "p50_latency_ms": result.latency["p50"] * 1000,
+            })
+    table = render_table(
+        ["topology", "servers", "ops/s", "leader B/txn", "p50 (ms)"],
+        [
+            (row["topology"], row["servers"], row["throughput"],
+             row["leader_egress_bytes_per_txn"], row["p50_latency_ms"])
+            for row in rows
+        ],
+        title="E1b: saturated throughput vs. ensemble size, per "
+              "dissemination topology",
+    )
+    return rows, table, {}
+
+
+# ---------------------------------------------------------------------------
 # E2: latency vs. offered load (open loop)
 # ---------------------------------------------------------------------------
 
@@ -108,10 +158,10 @@ def e2_latency_vs_load(rates=(500, 1000, 2000, 4000, 8000, 12000),
 def e3_failure_timeline(n_voters=5, seed=3, rate=2000):
     """Follower crash barely dents throughput; a leader crash opens a
     visible gap (election + sync) before service resumes."""
-    cluster = Cluster(
-        n_voters, seed=seed,
-        net_config=NetworkConfig(bandwidth_bps=_BANDWIDTH, latency=0.0002),
-    ).start()
+    cluster = Cluster(ClusterConfig(
+        n_voters=n_voters, seed=seed,
+        net=NetworkConfig(bandwidth_bps=_BANDWIDTH, latency=0.0002),
+    )).start()
     cluster.run_until_stable(timeout=60)
     driver = OpenLoopDriver(
         cluster, rate, default_op_factory(_OP_SIZE), _OP_SIZE,
@@ -342,11 +392,12 @@ def e6_end_to_end_resync(lag=5000, seed=6):
     """
     rows = []
     for mode, threshold in (("DIFF", 10 ** 6), ("SNAP", 10)):
-        cluster = Cluster(
-            3, seed=seed,
-            net_config=NetworkConfig(bandwidth_bps=_BANDWIDTH),
-            snap_sync_threshold=threshold, snapshot_every=10 ** 6,
-        ).start()
+        cluster = Cluster(ClusterConfig(
+            n_voters=3, seed=seed,
+            net=NetworkConfig(bandwidth_bps=_BANDWIDTH),
+            zab={"snap_sync_threshold": threshold,
+                 "snapshot_every": 10 ** 6},
+        )).start()
         cluster.run_until_stable(timeout=60)
         follower = next(
             peer for peer in cluster.peers.values()
@@ -503,11 +554,11 @@ def a1_recovery_time(ticks=(0.02, 0.05, 0.1, 0.2), n_voters=5, seed=11,
     for tick in ticks:
         gaps = []
         for trial in range(trials):
-            cluster = Cluster(
-                n_voters, seed=seed + trial,
-                net_config=NetworkConfig(bandwidth_bps=_BANDWIDTH),
-                tick=tick,
-            ).start()
+            cluster = Cluster(ClusterConfig(
+                n_voters=n_voters, seed=seed + trial,
+                net=NetworkConfig(bandwidth_bps=_BANDWIDTH),
+                zab={"tick": tick},
+            )).start()
             cluster.run_until_stable(timeout=60)
             cluster.submit_and_wait(("put", "warm", 1))
             gap, _leader = measure_recovery_gap(cluster)
@@ -553,10 +604,10 @@ def a2_observers(duration=_DURATION, seed=12, rate=1000):
     ]
     rows = []
     for label, n_voters, n_observers in configs:
-        cluster = Cluster(
-            n_voters, n_observers=n_observers, seed=seed,
-            net_config=NetworkConfig(bandwidth_bps=_BANDWIDTH),
-        ).start()
+        cluster = Cluster(ClusterConfig(
+            n_voters=n_voters, n_observers=n_observers, seed=seed,
+            net=NetworkConfig(bandwidth_bps=_BANDWIDTH),
+        )).start()
         cluster.run_until_stable(timeout=60)
         driver = OpenLoopDriver(
             cluster, rate, default_op_factory(_OP_SIZE), _OP_SIZE,

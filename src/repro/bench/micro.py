@@ -27,6 +27,12 @@ Four probes, one per hot layer:
   ``repro explore`` run, the metric the DFS campaign actually buys with
   the three layers above.  Reported as ``explore.states_per_s`` and
   ``explore.runs_per_s``.
+- **dissemination** — a committed-write loop through the whole peer
+  stack, once per propagation topology (leader-direct, chain, tree,
+  ring).  Reports wall-clock ``dissemination.<name>.messages_per_s``
+  plus the *deterministic* ``.leader_egress_bytes_per_txn`` that
+  separates the topologies (∝ n-1 for leader-direct, ~flat for
+  chain/ring, ∝ fan-out for tree).
 
 Workloads are deterministic (fixed seeds, fixed op counts); only the
 clock is real, so run-to-run noise is scheduler jitter plus CPU-speed
@@ -46,6 +52,7 @@ KERNEL_EVENTS = 200_000
 FABRIC_MESSAGES = 60_000
 CHECKER_EVENTS = 60_000
 EXPLORE_DEPTH = 3
+DISSEMINATION_OPS = 400
 
 
 def _best_of(fn, repeat):
@@ -285,6 +292,56 @@ def bench_explore(depth=EXPLORE_DEPTH, peers=3, repeat=3):
 
 
 # ---------------------------------------------------------------------------
+# Dissemination topologies
+# ---------------------------------------------------------------------------
+
+def bench_dissemination(ops=DISSEMINATION_OPS, n_voters=5, repeat=1,
+                        topologies=None):
+    """Per-topology dissemination cost through the full peer stack.
+
+    For each propagation topology: boot an *n_voters* cluster, commit
+    *ops* writes, and report wall-clock delivered messages/second plus
+    the deterministic leader-egress bytes per committed transaction.
+    The byte metric is the topology's signature (simulation-exact, no
+    wall-clock noise), so the baseline pins it tightly; the rate metric
+    rides the usual generous tolerance.
+    """
+    from repro.harness.cluster import Cluster
+    from repro.harness.config import ClusterConfig
+    from repro.zab.dissemination import DISSEMINATION_TOPOLOGIES
+
+    if topologies is None:
+        topologies = DISSEMINATION_TOPOLOGIES
+    metrics = {}
+    for topology in topologies:
+        def run_once(topology=topology):
+            cluster = Cluster(ClusterConfig(
+                n_voters=n_voters, seed=1, dissemination=topology,
+            )).start()
+            cluster.run_until_stable(timeout=60.0)
+            stats = cluster.network.stats
+            leader = cluster.leader()
+            base_received = sum(stats.messages_received.values())
+            base_egress = stats.egress_bytes(leader.peer_id)
+            done = []
+            for index in range(ops):
+                cluster.submit(("put", "k%d" % (index % 16), index),
+                               callback=lambda r, z: done.append(None))
+            cluster.run_until(lambda: len(done) >= ops, timeout=60.0)
+            assert len(done) >= ops, (topology, len(done))
+            metrics["dissemination.%s.leader_egress_bytes_per_txn"
+                    % topology] = (
+                (stats.egress_bytes(leader.peer_id) - base_egress)
+                / float(ops)
+            )
+            return sum(stats.messages_received.values()) - base_received
+        metrics["dissemination.%s.messages_per_s" % topology] = (
+            _best_of(run_once, repeat)
+        )
+    return metrics
+
+
+# ---------------------------------------------------------------------------
 # Suite
 # ---------------------------------------------------------------------------
 
@@ -312,6 +369,10 @@ def run_micro_suite(quick=False, progress=None):
             depth=2 if quick else EXPLORE_DEPTH,
             repeat=1 if quick else 3,
         )),
+        ("dissemination", lambda: bench_dissemination(
+            ops=DISSEMINATION_OPS // scale,
+            repeat=1,
+        )),
     )
     metrics = {}
     for name, probe in probes:
@@ -337,6 +398,12 @@ def render_micro(metrics):
          "events/s"),
         ("explore", "explore.states_per_s", "states/s"),
     ]
+    for key in sorted(metrics):
+        prefix = "dissemination."
+        if key.startswith(prefix) and key.endswith(".messages_per_s"):
+            topology = key[len(prefix):-len(".messages_per_s")]
+            rows.append(("dissemination (%s)" % topology, key,
+                         "messages/s"))
     lines = ["%-22s %14s %s" % ("hot path", "rate", "unit")]
     for label, key, unit in rows:
         value = metrics.get(key)

@@ -9,6 +9,7 @@ bottoms out here (or in a small variation of it).
 
 from repro.bench.workloads import ClosedLoopDriver, OpenLoopDriver
 from repro.harness.cluster import Cluster
+from repro.harness.config import ClusterConfig
 from repro.net import NetworkConfig
 from repro.obs import MetricsRegistry
 
@@ -60,31 +61,33 @@ def run_broadcast_bench(
     open_loop_rate=None,
     check_properties=True,
     tracer=None,
+    dissemination="leader-direct",
     **config_overrides
 ):
     """Run one saturated-broadcast (or open-loop) measurement.
 
     Returns a :class:`BenchResult`.  ``open_loop_rate`` switches from the
     closed-loop saturation driver to Poisson arrivals at the given rate.
-    An optional *tracer* (:class:`repro.obs.Tracer`) records structured
-    events from every layer; the result always carries a
+    ``dissemination`` selects the broadcast propagation topology
+    (``repro.DISSEMINATION_TOPOLOGIES``).  An optional *tracer*
+    (:class:`repro.obs.Tracer`) records structured events from every
+    layer; the result always carries a
     :class:`repro.obs.MetricsRegistry` snapshot (commit counters, drop
     reasons, streaming commit-latency percentiles).
     """
     registry = MetricsRegistry()
-    cluster = Cluster(
-        n_voters,
+    cluster = Cluster(ClusterConfig(
+        n_voters=n_voters,
         seed=seed,
-        net_config=NetworkConfig(
-            bandwidth_bps=bandwidth_bps, latency=latency
-        ),
+        net=NetworkConfig(bandwidth_bps=bandwidth_bps, latency=latency),
         disk=disk,
         fsync_latency=fsync_latency,
         group_commit=group_commit,
+        dissemination=dissemination,
         tracer=tracer,
         metrics=registry,
-        **config_overrides
-    )
+        zab=config_overrides,
+    ))
     cluster.start()
     cluster.run_until_stable(timeout=60.0)
 
@@ -119,6 +122,7 @@ def run_broadcast_bench(
             "benchmark run violated broadcast properties: %r" % report
         )
 
+    leader = cluster.leader()
     return BenchResult(
         params={
             "n_voters": n_voters,
@@ -128,6 +132,8 @@ def run_broadcast_bench(
             "bandwidth_bps": bandwidth_bps,
             "disk": disk,
             "seed": seed,
+            "dissemination": dissemination,
+            "leader": leader.peer_id if leader is not None else None,
         },
         throughput=throughput,
         latency=driver.latency.summary(),

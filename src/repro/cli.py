@@ -22,9 +22,11 @@ import sys
 
 from repro.bench import experiments
 from repro.bench.runner import run_broadcast_bench
+from repro.zab.dissemination import DISSEMINATION_TOPOLOGIES
 
 EXPERIMENTS = {
     "e1": experiments.e1_throughput_vs_servers,
+    "e1b": experiments.e1b_topology_scaling,
     "e2": experiments.e2_latency_vs_load,
     "e3": experiments.e3_failure_timeline,
     "e4": experiments.e4_paxos_violation,
@@ -75,8 +77,10 @@ def cmd_bench(args):
         bandwidth_bps=args.bandwidth * 1e6 / 8,
         disk="model" if args.disk else None,
         tracer=tracer,
+        dissemination=args.dissemination,
     )
     print("servers:      %d" % args.servers)
+    print("topology:     %s" % args.dissemination)
     print("throughput:   %.0f ops/s" % result.throughput)
     print("committed:    %d ops in %.1fs simulated"
           % (result.committed, result.duration))
@@ -473,6 +477,7 @@ def cmd_explore(args):
         interleave=args.interleave,
         jitter=0.0 if args.interleave else None,
         leader_factory=leader_factory,
+        dissemination=args.dissemination,
     )
 
     def progress(result):
@@ -642,6 +647,10 @@ def build_parser():
                          help="link speed in Mbit/s (default 200)")
     p_bench.add_argument("--disk", action="store_true",
                          help="enable the fsync/disk model")
+    p_bench.add_argument("--dissemination", default="leader-direct",
+                         choices=list(DISSEMINATION_TOPOLOGIES),
+                         help="broadcast propagation topology "
+                              "(default leader-direct)")
     p_bench.add_argument("--json", default=None, metavar="PATH",
                          help="also write a BENCH_<name>.json report")
     p_bench.add_argument("--name", default="bench",
@@ -759,6 +768,10 @@ def build_parser():
     p_explore.add_argument("--buggy", default=None, metavar="NAME",
                            help="plant a seeded bug from "
                                 "repro.harness.buggy (e.g. quorum_skip)")
+    p_explore.add_argument("--dissemination", default="leader-direct",
+                           choices=list(DISSEMINATION_TOPOLOGIES),
+                           help="broadcast propagation topology for "
+                                "every explored execution")
     p_explore.add_argument("--json", default=None, metavar="PATH",
                            help="write the JSON exploration summary here")
     p_explore.add_argument("-o", "--out", default=None,

@@ -1,6 +1,7 @@
 """Experiment harness: clusters, fault schedules, replay, shrinking."""
 
 from repro.harness.cluster import Cluster
+from repro.harness.config import ClusterConfig
 from repro.harness.faults import FaultSchedule
 from repro.harness.replay import (
     ReplayResult,
@@ -17,6 +18,7 @@ from repro.harness.shrink import (
 
 __all__ = [
     "Cluster",
+    "ClusterConfig",
     "FaultSchedule",
     "Action",
     "ActionSchedule",

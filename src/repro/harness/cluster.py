@@ -7,124 +7,95 @@ operations, crash/recover/partition peers, and check the PO broadcast
 properties of everything that happened.
 """
 
-import warnings
-
-from repro.app.kvstore import KVStateMachine
 from repro.checker import check_all, Trace
 from repro.common.errors import ConfigError
+from repro.harness.config import ClusterConfig
 from repro.net import Network, NetworkConfig
 from repro.obs import NULL_TRACER
 from repro.sim import Simulator
 from repro.storage.disk import DiskModel
-from repro.zab.config import ZabConfig
 from repro.zab.peer import PeerStorage, ZabPeer
 
 
 class Cluster:
     """An n-peer Zab ensemble on a simulated network.
 
-    Parameters
-    ----------
-    n_voters:
-        Number of voting peers (ids 1..n).
-    n_observers:
-        Number of observer peers (ids n+1..n+m).
-    seed:
-        Root seed for all randomness (network jitter, election timing).
-    net_config:
-        Optional :class:`~repro.net.network.NetworkConfig`.
-    app_factory:
-        State-machine factory; defaults to the KV store.
-    disk:
-        ``None`` (instant durability), ``"model"`` (one
-        :class:`~repro.storage.disk.DiskModel` per peer — dedicated log
-        devices), or ``"shared"`` (all peers contend on one device —
-        the paper's shared-device anti-pattern, experiment E7).
-    fsync_latency / disk_bandwidth:
-        Parameters for the disk model(s).
-    checker_trace:
-        Optional :class:`~repro.checker.Trace` shared by every peer;
-        one is created when omitted.  (``trace=`` is a deprecated alias
-        kept for one release; it emits :class:`DeprecationWarning`.)
-    tracer:
-        Optional :class:`~repro.obs.Tracer`; it is bound to the
-        simulator's clock and handed to the network and every peer.
-        Defaults to the zero-overhead no-op tracer.
-    metrics:
-        Optional :class:`~repro.obs.MetricsRegistry`; when given, the
-        kernel, network stats, and protocol counters register
-        themselves as lazily-read providers/gauges on it.
-    leader_factory:
-        Optional leader-context factory forwarded to every peer — the
-        seam fault-injection tests use to plant deliberately broken
-        leaders (:mod:`repro.harness.buggy`).
-    config_overrides:
-        Extra keyword arguments forwarded to
-        :class:`~repro.zab.config.ZabConfig`.
+    Construction takes one :class:`~repro.harness.config.ClusterConfig`::
 
-    Everything after ``n_voters, n_observers, seed`` is keyword-only.
+        Cluster(ClusterConfig(n_voters=5, seed=7, dissemination="tree"))
+
+    The legacy spelling ``Cluster(n_voters, n_observers, seed)`` is
+    still supported; its extra keyword arguments (``net_config=``,
+    ``disk=``, ``tracer=``, ZabConfig overrides such as ``tick=``, ...)
+    forward through :meth:`ClusterConfig.from_legacy` for one release
+    with a :class:`DeprecationWarning`.  The old ``trace=`` alias for
+    ``checker_trace=`` (deprecated two releases ago) now raises
+    :class:`TypeError`.
+
+    See :class:`~repro.harness.config.ClusterConfig` for every knob:
+    ensemble shape, network/disk models, dissemination topology,
+    checker/tracer/metrics wiring, and the leader-factory fault seam.
     """
 
-    def __init__(self, n_voters, n_observers=0, seed=0, *, net_config=None,
-                 app_factory=KVStateMachine, disk=None, fsync_latency=0.0005,
-                 disk_bandwidth=200e6, group_commit=True, checker_trace=None,
-                 tracer=None, metrics=None, leader_factory=None, trace=None,
-                 **config_overrides):
-        if n_voters < 1:
-            raise ConfigError("need at least one voter")
-        if trace is not None:
-            warnings.warn(
-                "Cluster(trace=...) is deprecated; use checker_trace=...",
-                DeprecationWarning, stacklevel=2,
+    def __init__(self, config=None, n_observers=0, seed=0, **legacy_kwargs):
+        if isinstance(config, ClusterConfig):
+            if n_observers or seed or legacy_kwargs:
+                raise ConfigError(
+                    "Cluster(ClusterConfig(...)) takes no extra arguments; "
+                    "set them on the ClusterConfig instead"
+                )
+            spec = config
+        else:
+            n_voters = config
+            if n_voters is None:
+                n_voters = legacy_kwargs.pop("n_voters", 3)
+            spec = ClusterConfig.from_legacy(
+                n_voters, n_observers=n_observers, seed=seed,
+                **legacy_kwargs
             )
-            if checker_trace is None:
-                checker_trace = trace
-        self.sim = Simulator(seed=seed)
-        self.tracer = (tracer if tracer is not None else NULL_TRACER).bind(
-            self.sim
-        )
-        self.metrics = metrics
+        self.cluster_config = spec
+        self.sim = Simulator(seed=spec.seed)
+        tracer = spec.tracer if spec.tracer is not None else NULL_TRACER
+        self.tracer = tracer.bind(self.sim)
+        self.metrics = spec.metrics
         self.network = Network(
-            self.sim, net_config or NetworkConfig(), tracer=self.tracer
+            self.sim, spec.net or NetworkConfig(), tracer=self.tracer
         )
-        self.trace = checker_trace if checker_trace is not None else Trace()
-        self.leader_factory = leader_factory
-        voters = tuple(range(1, n_voters + 1))
-        observers = tuple(
-            range(n_voters + 1, n_voters + n_observers + 1)
+        self.trace = (
+            spec.checker_trace if spec.checker_trace is not None else Trace()
         )
-        self.config = ZabConfig(
-            voters, observers=observers, **config_overrides
-        )
+        self.leader_factory = spec.leader_factory
+        voters = spec.voter_ids()
+        observers = spec.observer_ids()
+        self.config = spec.zab_config()
         shared_disk = None
-        if disk == "shared":
+        if spec.disk == "shared":
             shared_disk = DiskModel(
-                self.sim, fsync_latency=fsync_latency,
-                bandwidth_bps=disk_bandwidth,
+                self.sim, fsync_latency=spec.fsync_latency,
+                bandwidth_bps=spec.disk_bandwidth,
             )
         self.storages = {}
         self.peers = {}
         self.disks = {}
         self._disk_baseline = {}
         for peer_id in voters + observers:
-            if disk == "model":
+            if spec.disk == "model":
                 device = DiskModel(
-                    self.sim, fsync_latency=fsync_latency,
-                    bandwidth_bps=disk_bandwidth,
+                    self.sim, fsync_latency=spec.fsync_latency,
+                    bandwidth_bps=spec.disk_bandwidth,
                 )
-            elif disk == "shared":
+            elif spec.disk == "shared":
                 device = shared_disk
-            elif disk is None:
-                device = None
             else:
-                raise ConfigError("unknown disk mode: %r" % (disk,))
+                device = None
             self.disks[peer_id] = device
-            storage = PeerStorage(device, group_commit=group_commit)
+            storage = PeerStorage(device, group_commit=spec.group_commit)
             self.storages[peer_id] = storage
             self.peers[peer_id] = ZabPeer(
                 self.sim, self.network, peer_id, self.config,
-                app_factory=app_factory, storage=storage, trace=self.trace,
-                tracer=self.tracer, leader_factory=leader_factory,
+                app_factory=spec.app_factory, storage=storage,
+                trace=self.trace, tracer=self.tracer,
+                leader_factory=spec.leader_factory,
             )
         if self.metrics is not None:
             self._register_metrics(self.metrics)

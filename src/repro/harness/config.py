@@ -1,0 +1,166 @@
+"""Typed cluster construction (`ClusterConfig`).
+
+``Cluster`` grew one keyword argument per PR — network config, disk
+models, tracing, checker wiring, fault seams, and now dissemination
+topologies.  :class:`ClusterConfig` replaces that sprawl with one typed,
+validated object::
+
+    from repro import Cluster, ClusterConfig
+
+    cluster = Cluster(ClusterConfig(
+        n_voters=5, seed=7, dissemination="chain",
+        zab={"max_outstanding": 128},
+    )).start()
+
+The legacy keyword spelling (``Cluster(5, seed=7, tick=0.1, ...)``)
+still works for one release: unknown keywords are routed exactly as
+before (cluster-level names to their :class:`ClusterConfig` field,
+anything else to :class:`~repro.zab.config.ZabConfig`), but emit a
+:class:`DeprecationWarning` via :meth:`ClusterConfig.from_legacy`.
+"""
+
+import dataclasses
+import warnings
+
+from repro.app.kvstore import KVStateMachine
+from repro.common.errors import ConfigError
+
+#: Legacy ``Cluster(**kwargs)`` names that map onto ClusterConfig fields
+#: (everything else forwards to ZabConfig, as ``config_overrides`` did).
+_LEGACY_FIELD_MAP = {
+    "net_config": "net",
+    "app_factory": "app_factory",
+    "disk": "disk",
+    "fsync_latency": "fsync_latency",
+    "disk_bandwidth": "disk_bandwidth",
+    "group_commit": "group_commit",
+    "dissemination": "dissemination",
+    "checker_trace": "checker_trace",
+    "tracer": "tracer",
+    "metrics": "metrics",
+    "leader_factory": "leader_factory",
+}
+
+_DISK_MODES = (None, "model", "shared")
+
+
+@dataclasses.dataclass
+class ClusterConfig:
+    """Everything needed to build a :class:`~repro.harness.Cluster`.
+
+    Fields
+    ------
+    n_voters / n_observers / seed
+        Ensemble shape (peer ids 1..n then n+1..n+m) and the root seed
+        for all randomness.
+    net
+        Optional :class:`~repro.net.NetworkConfig` (latency, jitter,
+        NIC bandwidth, loss).
+    app_factory
+        Replicated state-machine factory; defaults to the KV store.
+    disk / fsync_latency / disk_bandwidth / group_commit
+        Durability model: ``None`` (instant), ``"model"`` (one disk per
+        peer), ``"shared"`` (all peers contend on one device).
+    dissemination
+        Broadcast propagation topology — one of
+        ``repro.DISSEMINATION_TOPOLOGIES`` (``"leader-direct"``,
+        ``"chain"``, ``"tree"``, ``"ring"``) or a
+        :class:`~repro.DisseminationStrategy` instance.
+    checker_trace / tracer / metrics
+        Observability wiring: the shared PO-property checker trace, a
+        structured-event :class:`~repro.obs.Tracer`, and a
+        :class:`~repro.obs.MetricsRegistry`.
+    leader_factory
+        Leader-context factory seam (fault-injection tests plant broken
+        leaders here; see :mod:`repro.harness.buggy`).
+    zab
+        Extra keyword arguments for :class:`~repro.zab.config.ZabConfig`
+        (``tick``, ``max_outstanding``, ``max_batch``, ...).
+    """
+
+    n_voters: int = 3
+    n_observers: int = 0
+    seed: int = 0
+    net: object = None
+    app_factory: object = KVStateMachine
+    disk: object = None
+    fsync_latency: float = 0.0005
+    disk_bandwidth: float = 200e6
+    group_commit: bool = True
+    dissemination: object = "leader-direct"
+    checker_trace: object = None
+    tracer: object = None
+    metrics: object = None
+    leader_factory: object = None
+    zab: dict = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.n_voters < 1:
+            raise ConfigError("need at least one voter")
+        if self.n_observers < 0:
+            raise ConfigError("n_observers must be >= 0")
+        if self.disk not in _DISK_MODES:
+            raise ConfigError("unknown disk mode: %r" % (self.disk,))
+        if "dissemination" in self.zab:
+            raise ConfigError(
+                "pass dissemination as a ClusterConfig field, not inside "
+                "zab overrides"
+            )
+
+    @classmethod
+    def from_legacy(cls, n_voters, n_observers=0, seed=0, _warn=True,
+                    **kwargs):
+        """Build a config from the pre-redesign ``Cluster(...)`` kwargs.
+
+        Cluster-level keywords map to their field (``net_config`` →
+        ``net``); anything else forwards to ZabConfig via ``zab``.
+        Using any keyword at all emits one :class:`DeprecationWarning`
+        unless *_warn* is false — positional ``(n_voters, n_observers,
+        seed)`` alone stays warning-free.
+        """
+        if "trace" in kwargs:
+            raise TypeError(
+                "Cluster(trace=...) was removed; use "
+                "ClusterConfig(checker_trace=...) (or the checker_trace= "
+                "keyword)"
+            )
+        fields = {}
+        zab = {}
+        for key, value in kwargs.items():
+            target = _LEGACY_FIELD_MAP.get(key)
+            if target is not None:
+                fields[target] = value
+            else:
+                zab[key] = value
+        if kwargs and _warn:
+            warnings.warn(
+                "Cluster keyword arguments (%s) are deprecated; build a "
+                "ClusterConfig and pass it as Cluster(config)"
+                % ", ".join(sorted(kwargs)),
+                DeprecationWarning, stacklevel=3,
+            )
+        return cls(
+            n_voters=n_voters, n_observers=n_observers, seed=seed,
+            zab=zab, **fields
+        )
+
+    def voter_ids(self):
+        return tuple(range(1, self.n_voters + 1))
+
+    def observer_ids(self):
+        return tuple(
+            range(self.n_voters + 1, self.n_voters + self.n_observers + 1)
+        )
+
+    def zab_config(self):
+        """The :class:`~repro.zab.config.ZabConfig` this cluster runs."""
+        from repro.zab.config import ZabConfig
+
+        return ZabConfig(
+            self.voter_ids(), observers=self.observer_ids(),
+            dissemination=self.dissemination, **self.zab
+        )
+
+    def replace(self, **changes):
+        """A copy with *changes* applied (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)

@@ -11,6 +11,7 @@ debugging (:mod:`repro.harness.shrink`) sound.
 """
 
 from repro.harness.cluster import Cluster
+from repro.harness.config import ClusterConfig
 from repro.harness.schedule import apply_action
 
 
@@ -73,15 +74,19 @@ class ReplayResult:
 def replay_schedule(schedule, n_voters=None, seed=None, op_interval=None,
                     settle=2.0, timeout=60.0, op=("incr", "campaign", 1),
                     leader_factory=None, tracer=None, metrics=None,
-                    **cluster_kwargs):
+                    dissemination=None, **cluster_kwargs):
     """Run *schedule* against a fresh cluster; returns a ReplayResult.
 
-    ``n_voters`` / ``seed`` / ``op_interval`` default to the schedule's
-    own ``meta`` (falling back to 3 voters, seed 0, 20 ms), so a
-    schedule loaded from a repro artifact replays with no extra
-    arguments.  ``leader_factory`` is forwarded to the cluster — the
-    hook the :class:`~repro.harness.buggy.BuggyLeaderContext` fixture
-    uses to prove the shrink pipeline end to end.
+    ``n_voters`` / ``seed`` / ``op_interval`` / ``dissemination``
+    default to the schedule's own ``meta`` (falling back to 3 voters,
+    seed 0, 20 ms, leader-direct), so a schedule loaded from a repro
+    artifact replays with no extra arguments.  ``leader_factory`` is
+    forwarded to the cluster — the hook the
+    :class:`~repro.harness.buggy.BuggyLeaderContext` fixture uses to
+    prove the shrink pipeline end to end.  Remaining keyword arguments
+    route like legacy ``Cluster(...)`` keywords (without deprecation
+    noise): cluster-level names to :class:`ClusterConfig`, the rest to
+    :class:`~repro.zab.config.ZabConfig`.
     """
     meta = schedule.meta
     if n_voters is None:
@@ -90,10 +95,14 @@ def replay_schedule(schedule, n_voters=None, seed=None, op_interval=None,
         seed = meta.get("seed", 0)
     if op_interval is None:
         op_interval = meta.get("op_interval", 0.02)
-    cluster = Cluster(
-        n_voters, seed=seed, leader_factory=leader_factory,
-        tracer=tracer, metrics=metrics, **cluster_kwargs
-    ).start()
+    if dissemination is None:
+        dissemination = meta.get("dissemination", "leader-direct")
+    spec = ClusterConfig.from_legacy(
+        n_voters, seed=seed, _warn=False,
+        leader_factory=leader_factory, tracer=tracer, metrics=metrics,
+        dissemination=dissemination, **cluster_kwargs
+    )
+    cluster = Cluster(spec).start()
     try:
         cluster.run_until_stable(timeout=timeout)
     except TimeoutError as exc:

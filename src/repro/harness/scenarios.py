@@ -100,16 +100,15 @@ def crash_recovery_timeline(n_voters=5, seed=3, rate=2000, tracer=None,
     from repro.bench.runner import default_op_factory
     from repro.bench.workloads import OpenLoopDriver
     from repro.harness.cluster import Cluster
+    from repro.harness.config import ClusterConfig
     from repro.harness.faults import FaultSchedule
     from repro.net import NetworkConfig
 
-    cluster = Cluster(
-        n_voters, seed=seed,
-        net_config=NetworkConfig(
-            bandwidth_bps=bandwidth_bps, latency=0.0002
-        ),
+    cluster = Cluster(ClusterConfig(
+        n_voters=n_voters, seed=seed,
+        net=NetworkConfig(bandwidth_bps=bandwidth_bps, latency=0.0002),
         tracer=tracer, metrics=metrics,
-    )
+    ))
     if monitor is not None:
         monitor.attach(cluster)
     cluster.start()
@@ -154,16 +153,15 @@ def slow_fsync_gray_failure(n_voters=5, seed=11, rate=2000, tracer=None,
     from repro.bench.runner import default_op_factory
     from repro.bench.workloads import OpenLoopDriver
     from repro.harness.cluster import Cluster
+    from repro.harness.config import ClusterConfig
     from repro.net import NetworkConfig
 
-    cluster = Cluster(
-        n_voters, seed=seed,
-        net_config=NetworkConfig(
-            bandwidth_bps=bandwidth_bps, latency=0.0002
-        ),
+    cluster = Cluster(ClusterConfig(
+        n_voters=n_voters, seed=seed,
+        net=NetworkConfig(bandwidth_bps=bandwidth_bps, latency=0.0002),
         disk="model", fsync_latency=fsync_latency,
         tracer=tracer, metrics=metrics,
-    )
+    ))
     if monitor is not None:
         monitor.attach(cluster)
     cluster.start()

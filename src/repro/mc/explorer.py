@@ -24,6 +24,7 @@ prefixes were left unexplored — no silent caps.
 
 from repro.checker import CheckerState
 from repro.harness.cluster import Cluster
+from repro.harness.config import ClusterConfig
 from repro.harness.replay import replay_schedule, violation_signature
 from repro.harness.schedule import Action, ActionSchedule, apply_action
 from repro.mc.choices import Chooser, DfsFrontier
@@ -65,12 +66,18 @@ class ExplorerConfig:
     leader_factory
         Forwarded to the cluster — plant seeded bugs from
         :mod:`repro.harness.buggy` to point the explorer at known prey.
+    dissemination
+        Propagation topology for every explored execution (one of
+        ``repro.DISSEMINATION_TOPOLOGIES``).  Recorded in each emitted
+        schedule's ``meta`` so replays and shrinks run the same
+        topology.
     """
 
     def __init__(self, peers=3, depth=8, seed=0, step_interval=0.25,
                  op_interval=0.02, settle=2.0, timeout=60.0,
                  max_schedules=256, max_states=4096, max_violations=1,
-                 interleave=False, jitter=None, leader_factory=None):
+                 interleave=False, jitter=None, leader_factory=None,
+                 dissemination="leader-direct"):
         self.peers = peers
         self.depth = depth
         self.seed = seed
@@ -84,6 +91,7 @@ class ExplorerConfig:
         self.interleave = interleave
         self.jitter = jitter
         self.leader_factory = leader_factory
+        self.dissemination = dissemination
 
     def net_config(self):
         """The NetworkConfig override, or None for the stock fabric."""
@@ -258,6 +266,7 @@ class Explorer:
         replayed = replay_schedule(
             outcome.schedule, leader_factory=self.config.leader_factory,
             settle=self.config.settle, timeout=self.config.timeout,
+            dissemination=self.config.dissemination,
             **replay_kwargs
         )
         result.violations.append(Violation(
@@ -297,14 +306,13 @@ class Explorer:
         """
         config = self.config
         chooser = Chooser(prefix)
-        cluster_kwargs = {}
-        net_config = config.net_config()
-        if net_config is not None:
-            cluster_kwargs["net_config"] = net_config
-        cluster = Cluster(
-            config.peers, seed=config.seed,
-            leader_factory=config.leader_factory, **cluster_kwargs
-        ).start()
+        spec = ClusterConfig(
+            n_voters=config.peers, seed=config.seed,
+            net=config.net_config(),
+            leader_factory=config.leader_factory,
+            dissemination=config.dissemination,
+        )
+        cluster = Cluster(spec).start()
         # Incremental checker rides along with the execution, so the
         # terminal verdict is O(1) instead of a full check_all re-read
         # of the history at every explored state.
@@ -319,6 +327,8 @@ class Explorer:
             "op_interval": config.op_interval,
             "explored_prefix": list(prefix),
         }
+        if config.dissemination != "leader-direct":
+            meta["dissemination"] = config.dissemination
         if config.jitter is not None:
             meta["jitter"] = config.jitter
         schedule = ActionSchedule(meta=meta)

@@ -192,7 +192,7 @@ class Network:
         type_name = self._type_names.get(cls)
         if type_name is None:
             type_name = self._type_names[cls] = cls.__name__
-        self.stats.record_send(src, size, type_name)
+        self.stats.record_send(src, size, type_name, dst)
         msg_id = self._msg_seq + 1
         self._msg_seq = msg_id
         sim = self.sim

@@ -13,16 +13,27 @@ class NetworkStats:
         self.messages_received = collections.Counter()
         self.by_type = collections.Counter()        # payload class -> sends
         self.bytes_by_type = collections.Counter()  # payload class -> bytes
+        self.bytes_by_pair = collections.Counter()     # (src, dst) -> bytes
+        self.messages_by_pair = collections.Counter()  # (src, dst) -> sends
         self.messages_dropped = 0
         self.drops_by_reason = collections.Counter()  # reason -> drops
         self.drops_by_node = collections.Counter()    # node -> drops
 
-    def record_send(self, node, size, payload_type=None):
+    def record_send(self, node, size, payload_type=None, dst=None):
         self.bytes_sent[node] += size
         self.messages_sent[node] += 1
         if payload_type is not None:
             self.by_type[payload_type] += 1
             self.bytes_by_type[payload_type] += size
+        if dst is not None:
+            self.bytes_by_pair[(node, dst)] += size
+            self.messages_by_pair[(node, dst)] += 1
+
+    def egress_bytes(self, node):
+        """Bytes *node* placed on its NIC (the dissemination-topology
+        comparison metric: a leader-direct leader pays ∝ (n-1) here,
+        a chain/ring leader stays ~flat)."""
+        return self.bytes_sent.get(node, 0)
 
     def record_receive(self, node, size):
         self.bytes_received[node] += size
@@ -58,6 +69,14 @@ class NetworkStats:
             "messages_received": dict(self.messages_received),
             "by_type": dict(self.by_type),
             "bytes_by_type": dict(self.bytes_by_type),
+            "bytes_by_pair": {
+                "%s->%s" % pair: count
+                for pair, count in self.bytes_by_pair.items()
+            },
+            "messages_by_pair": {
+                "%s->%s" % pair: count
+                for pair, count in self.messages_by_pair.items()
+            },
             "messages_dropped": self.messages_dropped,
             "drops_by_reason": dict(self.drops_by_reason),
             "drops_by_node": dict(self.drops_by_node),

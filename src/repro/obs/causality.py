@@ -146,6 +146,21 @@ class CausalityGraph:
             hops.append((send.t, span.leader, "propose.send"))
             if deliver is not None:
                 hops.append((deliver.t, critical, "propose.deliver"))
+        else:
+            # Non-direct dissemination: the proposal reached the
+            # quorum-critical follower through one or more relay hops.
+            chain = self._relay_path(zxid, span.leader, critical)
+            if chain:
+                hops.append((chain[0][0].t, span.leader, "propose.send"))
+                for index, (send, deliver) in enumerate(chain):
+                    last = index == len(chain) - 1
+                    if index > 0:
+                        hops.append((send.t, send.node, "relay.send"))
+                    if deliver is not None:
+                        hops.append((
+                            deliver.t, deliver.node,
+                            "propose.deliver" if last else "relay.deliver",
+                        ))
         ack_at = self._follower_ack_time(zxid, critical)
         if ack_at is not None:
             hops.append((ack_at, critical, "follower.durable+ack"))
@@ -172,6 +187,36 @@ class CausalityGraph:
                 best = (event, self._delivers.get(msg_id))
                 break
         return best
+
+    def _relay_path(self, zxid, src, dst):
+        """The (send, deliver) hop chain routing *zxid* from *src* to
+        *dst* through Relay messages, or None if the trace has no such
+        chain (the fabric tags Relay sends with the wrapped payload's
+        zxid, so the hops join like any other commit-path message)."""
+        edges = {}
+        for msg_id in sorted(self._sends):
+            event = self._sends[msg_id]
+            raw = event.fields.get("zxid")
+            if raw is None or tuple(raw) != zxid:
+                continue
+            if event.fields.get("type") not in ("Relay", "Propose"):
+                continue
+            edges.setdefault(event.node, []).append(
+                (event.fields.get("dst"), event, self._delivers.get(msg_id))
+            )
+        queue = [(src, [])]
+        seen = {src}
+        while queue:
+            node, path = queue.pop(0)
+            for nxt, send, deliver in edges.get(node, ()):
+                if nxt in seen:
+                    continue
+                hop_path = path + [(send, deliver)]
+                if nxt == dst:
+                    return hop_path
+                seen.add(nxt)
+                queue.append((nxt, hop_path))
+        return None
 
     def _follower_ack_time(self, zxid, follower):
         for event in self.events:

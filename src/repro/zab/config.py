@@ -7,6 +7,7 @@ multiple-outstanding-transactions behaviour that the paper highlights.
 """
 
 from repro.common.errors import ConfigError
+from repro.zab.dissemination import resolve_dissemination
 from repro.zab.quorum import MajorityQuorum
 
 
@@ -46,6 +47,13 @@ class ZabConfig:
         During sync, if a follower lags by more than this many
         transactions (or the needed records were purged), ship a snapshot
         (SNAP) instead of a diff (DIFF).
+    dissemination
+        Broadcast-phase propagation topology: one of
+        :data:`~repro.zab.dissemination.DISSEMINATION_TOPOLOGIES`
+        (``"leader-direct"``, ``"chain"``, ``"tree"``, ``"ring"``) or a
+        :class:`~repro.zab.dissemination.DisseminationStrategy`
+        instance.  ``leader-direct`` is the default and keeps the exact
+        pre-seam fast path.
     """
 
     def __init__(
@@ -65,6 +73,7 @@ class ZabConfig:
         snap_sync_threshold=500,
         purge_logs_on_snapshot=False,
         digest_every=0,
+        dissemination="leader-direct",
     ):
         voters = tuple(sorted(voters))
         observers = tuple(sorted(observers))
@@ -99,6 +108,7 @@ class ZabConfig:
         if digest_every < 0:
             raise ConfigError("digest_every must be >= 0")
         self.digest_every = digest_every
+        self.dissemination = resolve_dissemination(dissemination)
 
     @property
     def all_peers(self):

@@ -63,6 +63,13 @@ class FollowerContext:
         self._sync_seq = 0
         self._sync_reads = {}      # cookie -> (query, callback)
         self._sync_barriers = []   # (zxid, cookie) awaiting local apply
+        # Non-direct dissemination: proposals arrive via relay hops, so
+        # a lost relay shows up as the leader's commit frontier running
+        # ahead of our log.  _relay_lag remembers the stuck log position
+        # between pings (two lagging pings with no append progress means
+        # the relayed stream really broke, not just in flight).
+        self._relayed = not peer.config.dissemination.direct
+        self._relay_lag = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -122,6 +129,12 @@ class FollowerContext:
     # ------------------------------------------------------------------
 
     def on_message(self, src, msg):
+        if isinstance(msg, messages.Relay):
+            # Relayed broadcast traffic arrives from a peer follower,
+            # not the leader itself — validate by origin/epoch instead
+            # of transport source.
+            self._on_relay(msg)
+            return
         if src != self.leader_id:
             return  # stale traffic from a deposed leader
         self._last_leader_contact = self.peer.sim.now
@@ -252,6 +265,37 @@ class FollowerContext:
     # Broadcast phase
     # ------------------------------------------------------------------
 
+    def _on_relay(self, msg):
+        """Forward one relayed hop onward, then process its payload.
+
+        Only relays from the leader we are actively following (matching
+        origin *and* epoch) count; anything else is a deposed leader's
+        in-flight plan and is dropped — the downstream nodes it would
+        have fed detect the gap and re-sync, exactly like a lost direct
+        channel.  Forwarding happens *before* local processing so a
+        poison payload cannot starve the rest of the route.
+        """
+        if msg.origin != self.leader_id or msg.epoch != self.epoch:
+            return
+        self._last_leader_contact = self.peer.sim.now
+        route = msg.route
+        if route:
+            tracer = self.peer.tracer
+            if tracer.active:
+                zxid = msg.zxid
+                tracer.emit(
+                    "follower.relay", node=self.peer.peer_id,
+                    origin=msg.origin,
+                    type=type(msg.payload).__name__,
+                    zxid=zxid.as_tuple() if zxid is not None else None,
+                    fanout=len(route),
+                )
+            for node, children in route:
+                self.peer.send(node, messages.Relay(
+                    msg.origin, msg.epoch, msg.payload, children
+                ))
+        self.on_message(self.leader_id, msg.payload)
+
     def _on_propose(self, msg):
         if not self._saw_newleader or msg.zxid.epoch != self.epoch:
             return
@@ -337,6 +381,22 @@ class FollowerContext:
     # ------------------------------------------------------------------
 
     def _on_ping(self, msg):
+        if self._relayed and self.active and msg.last_committed:
+            # Relayed proposals can be lost without breaking any direct
+            # FIFO channel (a relay crashed mid-hop).  The leader's
+            # frontier running ahead of our *log* across two pings with
+            # no append progress means the relayed stream broke; re-sync.
+            last = self.peer.storage.log.last_appended() or ZXID_ZERO
+            if msg.last_committed > last:
+                if self._relay_lag == last:
+                    self.peer.go_looking(
+                        "missed relayed proposals: leader committed %r, "
+                        "log at %r" % (msg.last_committed, last)
+                    )
+                    return
+                self._relay_lag = last
+            else:
+                self._relay_lag = None
         if msg.last_committed and msg.last_committed > self.commit_frontier:
             self.commit_frontier = msg.last_committed
         self._deliver_committed()

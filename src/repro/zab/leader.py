@@ -97,6 +97,10 @@ class LeaderContext:
             peer, self.config.max_batch, self.config.batch_delay,
             self._propose_batch,
         )
+        self._strategy = self.config.dissemination
+        self._plan = ()            # relay forest (non-direct strategies)
+        self._plan_members = ()    # sorted member ids the plan spans
+        self._plan_member_set = frozenset()
         self._fetching_from = None
         self._handshake_timer = None
         self._ping_timer = None
@@ -426,9 +430,12 @@ class LeaderContext:
             if len(recent) > _RECENT_PROPOSE_CAP:
                 del recent[next(iter(recent))]
         message = messages.Propose(zxid, txn, request.size)
-        for handle in self.handles.values():
-            if handle.in_stream and not handle.is_observer:
-                self.peer.send(handle.peer_id, message)
+        if self._strategy.direct:
+            for handle in self.handles.values():
+                if handle.in_stream and not handle.is_observer:
+                    self.peer.send(handle.peer_id, message)
+        else:
+            self._disseminate(message)
         self.peer.storage.log.append(
             zxid, txn, request.size,
             callback=lambda z=zxid: self._on_ack(self.peer.peer_id, z),
@@ -501,20 +508,85 @@ class LeaderContext:
             )
         commit = messages.Commit(zxid)
         inform = None
-        for handle in self.handles.values():
-            if not handle.in_stream:
-                continue
-            if handle.is_observer:
-                if handle.synced:
+        if self._strategy.direct:
+            for handle in self.handles.values():
+                if not handle.in_stream:
+                    continue
+                if handle.is_observer:
+                    if handle.synced:
+                        if inform is None:
+                            inform = messages.Inform(
+                                zxid, proposal.txn, proposal.size
+                            )
+                        self.peer.send(handle.peer_id, inform)
+                else:
+                    self.peer.send(handle.peer_id, commit)
+        else:
+            # Observers are never relay-plan members; INFORM stays a
+            # direct leader->observer stream regardless of topology.
+            for handle in self.handles.values():
+                if handle.is_observer and handle.in_stream and handle.synced:
                     if inform is None:
                         inform = messages.Inform(
                             zxid, proposal.txn, proposal.size
                         )
                     self.peer.send(handle.peer_id, inform)
-            else:
-                self.peer.send(handle.peer_id, commit)
+            self._disseminate(commit)
         self.peer.commit_local(zxid, proposal.txn)
         self._flush_sync_waiters(zxid)
+
+    # ------------------------------------------------------------------
+    # Relay-plan dissemination (non-direct topologies)
+    # ------------------------------------------------------------------
+
+    def _refresh_plan(self):
+        """Recompute the relay forest when plan membership changed.
+
+        Plan members are the *synced* voter followers still in live
+        contact; a crashed relay falls out after ``staleness_timeout``
+        so new proposals route around it.  Followers that are in the
+        broadcast stream but not (yet, or no longer) plan members are
+        fed directly — FIFO with their sync stream, which makes the
+        direct->relayed handoff at sync completion safe.
+        """
+        horizon = self.peer.sim.now - self.config.staleness_timeout()
+        members = tuple(sorted(
+            handle.peer_id
+            for handle in self.handles.values()
+            if handle.synced and not handle.is_observer
+            and handle.last_contact >= horizon
+        ))
+        if members != self._plan_members:
+            self._plan_members = members
+            self._plan_member_set = frozenset(members)
+            self._plan = self._strategy.plan(self.peer.peer_id, members)
+            tracer = self.peer.tracer
+            if tracer.active:
+                tracer.emit(
+                    "leader.plan", node=self.peer.peer_id,
+                    topology=self._strategy.name, members=list(members),
+                )
+        return self._plan
+
+    def _disseminate(self, message):
+        """Fan one broadcast-phase message out along the relay plan."""
+        plan = self._refresh_plan()
+        members = self._plan_member_set
+        send = self.peer.send
+        for handle in self.handles.values():
+            if (
+                handle.in_stream
+                and not handle.is_observer
+                and handle.peer_id not in members
+            ):
+                send(handle.peer_id, message)
+        for node, children in plan:
+            if children:
+                send(node, messages.Relay(
+                    self.peer.peer_id, self.epoch, message, children
+                ))
+            else:
+                send(node, message)
 
     # ------------------------------------------------------------------
     # Read-path flush (ZooKeeper's sync())

@@ -220,6 +220,55 @@ class Inform:
         return HEADER_BYTES + 8 + self.size
 
 
+class Relay:
+    """One hop of a relayed broadcast message (non-direct topologies).
+
+    Carries the originating leader and epoch so a receiver can tell
+    stale relays (from a deposed leader's plan) from live traffic, the
+    wrapped broadcast payload (PROPOSE or COMMIT), and the source route
+    the receiver forwards onward — a tuple of ``(node, children)``
+    pairs in the same nested shape the strategy's plan uses.  Because
+    the route travels with the message, in-flight hops keep working
+    even if the leader has since recomputed its plan.
+    """
+
+    __slots__ = ("origin", "epoch", "payload", "route")
+
+    #: Routing bytes charged per downstream node named in the route.
+    ROUTE_ENTRY_BYTES = 8
+
+    def __init__(self, origin, epoch, payload, route=()):
+        self.origin = origin
+        self.epoch = epoch
+        self.payload = payload
+        self.route = route
+
+    @property
+    def zxid(self):
+        """The wrapped payload's zxid (keeps fabric tracing/causality
+        zxid-tagged across relay hops)."""
+        return getattr(self.payload, "zxid", None)
+
+    def _route_nodes(self):
+        count = 0
+        stack = list(self.route)
+        while stack:
+            node, children = stack.pop()
+            count += 1
+            stack.extend(children)
+        return count
+
+    def wire_size(self):
+        inner = getattr(self.payload, "wire_size", None)
+        size = inner() if inner is not None else HEADER_BYTES
+        return size + 16 + self.ROUTE_ENTRY_BYTES * self._route_nodes()
+
+    def __repr__(self):
+        return "Relay(%s e=%s %r via %d)" % (
+            self.origin, self.epoch, self.payload, len(self.route)
+        )
+
+
 # --- Heartbeats -----------------------------------------------------------
 
 

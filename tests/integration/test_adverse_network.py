@@ -8,18 +8,18 @@ slows down.
 
 import pytest
 
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.net import NetworkConfig
 
 
 def test_sustained_message_loss_keeps_safety_and_eventually_commits():
-    cluster = Cluster(
-        3, seed=240,
-        net_config=NetworkConfig(loss_rate=0.05),
+    cluster = Cluster(ClusterConfig(
+        n_voters=3, seed=240,
+        net=NetworkConfig(loss_rate=0.05),
         # Generous timeouts so retransmission-free Zab still detects
         # liveness correctly under loss.
-        tick=0.1, sync_limit=8, init_limit=20,
-    ).start()
+        zab={"tick": 0.1, "sync_limit": 8, "init_limit": 20},
+    )).start()
     cluster.run_until_stable(timeout=120)
     committed = []
     for i in range(20):
@@ -35,11 +35,11 @@ def test_sustained_message_loss_keeps_safety_and_eventually_commits():
 
 
 def test_extreme_jitter_preserves_fifo_and_order():
-    cluster = Cluster(
-        3, seed=241,
-        net_config=NetworkConfig(latency=0.001, jitter=0.02),
-        tick=0.2, sync_limit=8,
-    ).start()
+    cluster = Cluster(ClusterConfig(
+        n_voters=3, seed=241,
+        net=NetworkConfig(latency=0.001, jitter=0.02),
+        zab={"tick": 0.2, "sync_limit": 8},
+    )).start()
     cluster.run_until_stable(timeout=120)
     order = []
     for i in range(30):
@@ -89,11 +89,11 @@ def test_slow_asymmetric_link_does_not_break_anything():
 
 @pytest.mark.parametrize("loss", [0.0, 0.02])
 def test_loss_changes_liveness_not_outcomes(loss):
-    cluster = Cluster(
-        3, seed=244,
-        net_config=NetworkConfig(loss_rate=loss),
-        tick=0.1, sync_limit=8, init_limit=20,
-    ).start()
+    cluster = Cluster(ClusterConfig(
+        n_voters=3, seed=244,
+        net=NetworkConfig(loss_rate=loss),
+        zab={"tick": 0.1, "sync_limit": 8, "init_limit": 20},
+    )).start()
     cluster.run_until_stable(timeout=120)
     done = []
     for i in range(10):

@@ -2,14 +2,14 @@
 locks, watches, sessions with expiry, and failover."""
 
 from repro.app import DataTreeStateMachine, WatchManager
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.harness.session_service import SessionExpiryService
 
 
 def tree_cluster(seed, **kwargs):
-    cluster = Cluster(
-        3, seed=seed, app_factory=DataTreeStateMachine, **kwargs
-    ).start()
+    cluster = Cluster(ClusterConfig(
+        n_voters=3, seed=seed, app_factory=DataTreeStateMachine, **kwargs
+    )).start()
     cluster.run_until_stable(timeout=30)
     return cluster
 
@@ -112,8 +112,8 @@ def test_lock_service_failover_keeps_holder():
 
 def test_tree_state_survives_snap_sync():
     cluster = tree_cluster(
-        95, snapshot_every=20, snap_sync_threshold=10,
-        purge_logs_on_snapshot=True,
+        95, zab={"snapshot_every": 20, "snap_sync_threshold": 10,
+                 "purge_logs_on_snapshot": True},
     )
     follower = next(
         peer for peer in cluster.peers.values() if peer.is_active_follower

@@ -7,14 +7,14 @@ watches, and client retries all compose correctly.
 
 from repro.app import DataTreeStateMachine
 from repro.client import Client
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.recipes import DistributedLock, DoubleBarrier, GroupMembership
 
 
 def tree_cluster(seed, **kwargs):
-    cluster = Cluster(
-        3, seed=seed, app_factory=DataTreeStateMachine, **kwargs
-    ).start()
+    cluster = Cluster(ClusterConfig(
+        n_voters=3, seed=seed, app_factory=DataTreeStateMachine, **kwargs
+    )).start()
     cluster.run_until_stable(timeout=30)
     return cluster
 

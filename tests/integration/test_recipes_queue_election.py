@@ -2,14 +2,14 @@
 
 from repro.app import DataTreeStateMachine
 from repro.client import Client
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.recipes import DistributedQueue, LeaderElection
 
 
 def tree_cluster(seed, roots=("/queue",)):
-    cluster = Cluster(
-        3, seed=seed, app_factory=DataTreeStateMachine,
-    ).start()
+    cluster = Cluster(ClusterConfig(
+        n_voters=3, seed=seed, app_factory=DataTreeStateMachine,
+    )).start()
     cluster.run_until_stable(timeout=30)
     for root in roots:
         cluster.submit_and_wait(("create", root, b"", "", None))

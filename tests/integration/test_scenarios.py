@@ -1,6 +1,6 @@
 """Tests for the canned operational scenarios."""
 
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.harness.scenarios import (
     flapping_partition,
     leader_churn,
@@ -10,7 +10,7 @@ from repro.harness.scenarios import (
 
 
 def stable_cluster(n=3, seed=140, **kwargs):
-    cluster = Cluster(n, seed=seed, **kwargs).start()
+    cluster = Cluster(ClusterConfig(n_voters=n, seed=seed, **kwargs)).start()
     cluster.run_until_stable(timeout=30)
     return cluster
 

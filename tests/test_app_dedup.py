@@ -2,7 +2,7 @@
 
 from repro.app.dedup import DedupStateMachine
 from repro.app.kvstore import KVStateMachine
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 
 
 def kv_dedup_factory():
@@ -77,9 +77,9 @@ def test_dedup_table_survives_snapshot_roundtrip():
 
 
 def test_exactly_once_across_cluster_with_duplicate_submission():
-    cluster = Cluster(
-        3, seed=180, app_factory=kv_dedup_factory,
-    ).start()
+    cluster = Cluster(ClusterConfig(
+        n_voters=3, seed=180, app_factory=kv_dedup_factory,
+    )).start()
     cluster.run_until_stable(timeout=30)
     op = ("dedup", "client-7", 1, ("incr", "balance", 100))
     # The "client" times out and retries: the same logical request is
@@ -96,9 +96,9 @@ def test_exactly_once_across_cluster_with_duplicate_submission():
 
 
 def test_exactly_once_survives_leader_change():
-    cluster = Cluster(
-        3, seed=181, app_factory=kv_dedup_factory,
-    ).start()
+    cluster = Cluster(ClusterConfig(
+        n_voters=3, seed=181, app_factory=kv_dedup_factory,
+    )).start()
     cluster.run_until_stable(timeout=30)
     op = ("dedup", "client-9", 1, ("incr", "balance", 50))
     cluster.submit_and_wait(op)

@@ -1,7 +1,7 @@
 """Tests for ZooKeeper-style atomic multi transactions."""
 
 from repro.app import DataTreeStateMachine
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 
 
 def do(sm, op):
@@ -87,9 +87,9 @@ def test_multi_prepare_does_not_mutate_primary_state():
 
 
 def test_multi_replicates_atomically():
-    cluster = Cluster(
-        3, seed=170, app_factory=DataTreeStateMachine,
-    ).start()
+    cluster = Cluster(ClusterConfig(
+        n_voters=3, seed=170, app_factory=DataTreeStateMachine,
+    )).start()
     cluster.run_until_stable(timeout=30)
     results, _zxid = cluster.submit_and_wait(("multi", [
         ("create", "/cfg", b"", "", None),

@@ -21,7 +21,7 @@ import pytest
 hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import given, settings, strategies as st
 
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.sim import Process, Simulator
 from repro.zab.pipeline import Batcher
 
@@ -118,7 +118,8 @@ def _assert_no_leak(cluster, committed):
 
 
 def test_buffered_requests_die_when_leader_crashes_before_flush():
-    cluster = Cluster(3, seed=2, max_batch=64, batch_delay=0.5).start()
+    cluster = Cluster(ClusterConfig(n_voters=3, seed=2,
+                      zab={"max_batch": 64, "batch_delay": 0.5})).start()
     leader = cluster.run_until_stable(timeout=60)
     committed = _buffer_doomed_requests(cluster, leader)
     cluster.run(0.1)  # well inside the 0.5 s batch window
@@ -134,7 +135,8 @@ def test_buffered_requests_die_when_leader_loses_leadership():
     # Same edge without a crash: the isolated leader abdicates (loses
     # follower quorum) while the batch timer is armed; Batcher.close()
     # must drop the buffer instead of flushing it into the next epoch.
-    cluster = Cluster(3, seed=2, max_batch=64, batch_delay=0.5).start()
+    cluster = Cluster(ClusterConfig(n_voters=3, seed=2,
+                      zab={"max_batch": 64, "batch_delay": 0.5})).start()
     leader = cluster.run_until_stable(timeout=60)
     old_epoch = leader.current_epoch()
     committed = _buffer_doomed_requests(cluster, leader)

@@ -31,9 +31,26 @@ def test_suite_reports_every_hot_path(quick_metrics):
         "checker.events_per_s",
         "explore.states_per_s",
         "explore.runs_per_s",
+        "dissemination.leader-direct.messages_per_s",
+        "dissemination.chain.messages_per_s",
+        "dissemination.tree.messages_per_s",
+        "dissemination.ring.messages_per_s",
     ):
         rate = quick_metrics[key]
         assert rate > 0 and math.isfinite(rate), key
+
+
+def test_dissemination_probe_separates_topologies(quick_metrics):
+    # The deterministic byte metric must show the headline effect even
+    # in quick mode: relayed topologies unload the leader's NIC.
+    def egress(topology):
+        return quick_metrics[
+            "dissemination.%s.leader_egress_bytes_per_txn" % topology
+        ]
+
+    assert egress("chain") < egress("leader-direct")
+    assert egress("ring") < egress("leader-direct")
+    assert egress("tree") < egress("leader-direct")
 
 
 def test_workload_shapes_are_deterministic(quick_metrics):
@@ -46,7 +63,9 @@ def test_workload_shapes_are_deterministic(quick_metrics):
 
 
 def test_progress_callback_sees_each_probe(quick_metrics):
-    assert _PROGRESS == ["kernel", "fabric", "checker", "explore"]
+    assert _PROGRESS == [
+        "kernel", "fabric", "checker", "explore", "dissemination",
+    ]
 
 
 def test_report_round_trips_through_the_schema(tmp_path, quick_metrics):

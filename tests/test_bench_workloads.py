@@ -4,11 +4,11 @@ import pytest
 
 from repro.bench import ClosedLoopDriver, OpenLoopDriver
 from repro.bench.runner import default_op_factory, run_broadcast_bench
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 
 
 def stable_cluster(seed=130, **kwargs):
-    cluster = Cluster(3, seed=seed, **kwargs).start()
+    cluster = Cluster(ClusterConfig(n_voters=3, seed=seed, **kwargs)).start()
     cluster.run_until_stable(timeout=30)
     return cluster
 

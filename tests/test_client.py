@@ -1,11 +1,11 @@
 """Integration tests for the client library against live ensembles."""
 
 from repro.client import Client
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 
 
 def stable_cluster(n=3, seed=40, **kwargs):
-    cluster = Cluster(n, seed=seed, **kwargs).start()
+    cluster = Cluster(ClusterConfig(n_voters=n, seed=seed, **kwargs)).start()
     cluster.run_until_stable(timeout=30)
     return cluster
 

@@ -8,14 +8,14 @@ peer.  Without deduplication the increment applies twice.
 from repro.app.dedup import DedupStateMachine
 from repro.app.kvstore import KVStateMachine
 from repro.client import Client
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 
 
 def dedup_cluster(seed):
-    cluster = Cluster(
-        3, seed=seed,
+    cluster = Cluster(ClusterConfig(
+        n_voters=3, seed=seed,
         app_factory=lambda: DedupStateMachine(KVStateMachine),
-    ).start()
+    )).start()
     cluster.run_until_stable(timeout=30)
     return cluster
 

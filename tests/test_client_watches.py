@@ -2,13 +2,13 @@
 
 from repro.app import DataTreeStateMachine
 from repro.client import Client
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 
 
 def tree_cluster(seed):
-    cluster = Cluster(
-        3, seed=seed, app_factory=DataTreeStateMachine,
-    ).start()
+    cluster = Cluster(ClusterConfig(
+        n_voters=3, seed=seed, app_factory=DataTreeStateMachine,
+    )).start()
     cluster.run_until_stable(timeout=30)
     return cluster
 

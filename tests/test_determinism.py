@@ -6,7 +6,7 @@ full scenarios twice and require bit-identical traces, states, and
 metrics.
 """
 
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.paxos import PaxosCluster
 
 
@@ -83,7 +83,7 @@ _SEED77_DIGEST = "ee2f6e5fc58fdfb5a01710803a097f3e6cfebf71f3faeb21ff063d2c4159da
 def _zab_scenario_digest(seed, tracer=None):
     import hashlib
 
-    cluster = Cluster(5, seed=seed, tracer=tracer).start()
+    cluster = Cluster(ClusterConfig(n_voters=5, seed=seed, tracer=tracer)).start()
     cluster.run_until_stable(timeout=30)
     for i in range(20):
         cluster.submit_and_wait(("incr", "x", 1))

@@ -8,7 +8,7 @@ it, including when the wedged peer is the leader (its own ack is not
 required as long as a quorum of followers acks).
 """
 
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.sim import Simulator
 from repro.storage import DiskModel, TxnLog
 from repro.zab.zxid import Zxid
@@ -45,7 +45,7 @@ def test_log_on_wedged_disk_never_acks():
 
 
 def test_wedged_follower_disk_does_not_block_commits():
-    cluster = Cluster(3, seed=330, disk="model").start()
+    cluster = Cluster(ClusterConfig(n_voters=3, seed=330, disk="model")).start()
     cluster.run_until_stable(timeout=30)
     follower = next(
         peer for peer in cluster.peers.values() if peer.is_active_follower
@@ -62,7 +62,7 @@ def test_wedged_leader_disk_still_commits_via_follower_quorum():
     """The leader's own fsync is NOT on the critical path when a quorum
     of followers acks: with n=3, two follower acks commit the write even
     though the leader can never log it locally."""
-    cluster = Cluster(3, seed=331, disk="model").start()
+    cluster = Cluster(ClusterConfig(n_voters=3, seed=331, disk="model")).start()
     cluster.run_until_stable(timeout=30)
     leader = cluster.leader()
     leader.storage.log._disk.wedge()
@@ -86,7 +86,7 @@ def test_wedged_majority_blocks_and_leader_notices_stall():
     """With both followers' disks wedged, nothing can commit; the
     leader must detect the lack of ACK *progress* (pings keep flowing!)
     and abdicate rather than pretend to lead a dead pipeline."""
-    cluster = Cluster(3, seed=332, disk="model").start()
+    cluster = Cluster(ClusterConfig(n_voters=3, seed=332, disk="model")).start()
     cluster.run_until_stable(timeout=30)
     leader = cluster.leader()
     followers = [

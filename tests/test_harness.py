@@ -6,22 +6,35 @@ import pytest
 
 from repro.checker import Trace
 from repro.common.errors import ConfigError
-from repro.harness import ActionSchedule, Cluster, FaultSchedule
+from repro.harness import ActionSchedule, Cluster, ClusterConfig, FaultSchedule
 
 
-def test_checker_trace_kwarg():
+def test_checker_trace_via_cluster_config():
     trace = Trace()
     with warnings.catch_warnings():
-        warnings.simplefilter("error")  # must NOT warn
+        warnings.simplefilter("error")  # the new spelling must NOT warn
+        cluster = Cluster(ClusterConfig(n_voters=3, seed=68,
+                                        checker_trace=trace))
+    assert cluster.trace is trace
+
+
+def test_checker_trace_legacy_kwarg_warns_but_works():
+    trace = Trace()
+    with pytest.warns(DeprecationWarning):
         cluster = Cluster(3, seed=68, checker_trace=trace)
     assert cluster.trace is trace
 
 
-def test_trace_kwarg_deprecated_but_working():
-    trace = Trace()
-    with pytest.warns(DeprecationWarning):
-        cluster = Cluster(3, seed=68, trace=trace)
-    assert cluster.trace is trace
+def test_trace_kwarg_removed():
+    # Deprecated two releases ago as an alias for checker_trace; the
+    # construction redesign removed it for good.
+    with pytest.raises(TypeError, match="checker_trace"):
+        Cluster(3, seed=68, trace=Trace())
+
+
+def test_cluster_config_rejects_extra_arguments():
+    with pytest.raises(ConfigError):
+        Cluster(ClusterConfig(n_voters=3), seed=68)
 
 
 def test_cluster_kwargs_are_keyword_only():
@@ -32,7 +45,8 @@ def test_cluster_kwargs_are_keyword_only():
 def test_cluster_validation():
     with pytest.raises(ConfigError):
         Cluster(0)
-    with pytest.raises(ConfigError):
+    with pytest.raises(ConfigError), warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
         Cluster(3, disk="floppy")
 
 
@@ -59,8 +73,8 @@ def test_submit_without_leader_raises():
 
 
 def test_shared_disk_mode_contends():
-    dedicated = Cluster(3, seed=63, disk="model")
-    shared = Cluster(3, seed=63, disk="shared")
+    dedicated = Cluster(ClusterConfig(n_voters=3, seed=63, disk="model"))
+    shared = Cluster(ClusterConfig(n_voters=3, seed=63, disk="shared"))
     assert (
         dedicated.storages[1].log._disk
         is not dedicated.storages[2].log._disk

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.harness.buggy import SEEDED_BUGS
 from repro.mc import (
     Chooser,
@@ -109,7 +109,7 @@ def test_frontier_counts_total_pushes():
 
 
 def booted_cluster(**kwargs):
-    cluster = Cluster(3, seed=0, **kwargs).start()
+    cluster = Cluster(ClusterConfig(n_voters=3, seed=0, **kwargs)).start()
     cluster.run_until_stable(timeout=60)
     return cluster
 

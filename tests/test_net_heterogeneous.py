@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import ConfigError
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.net import Network, NetworkConfig
 from repro.sim import Simulator
 
@@ -43,10 +43,10 @@ def test_slow_follower_nic_does_not_gate_commits():
     """A follower with a 10x slower NIC slows its *own* acks' egress a
     little, but the quorum can always be met by the faster follower —
     commit latency stays near the fast path."""
-    cluster = Cluster(
-        3, seed=320,
-        net_config=NetworkConfig(bandwidth_bps=25e6, latency=0.0002),
-    ).start()
+    cluster = Cluster(ClusterConfig(
+        n_voters=3, seed=320,
+        net=NetworkConfig(bandwidth_bps=25e6, latency=0.0002),
+    )).start()
     cluster.run_until_stable(timeout=30)
     leader_id = cluster.leader().peer_id
     followers = [
@@ -73,10 +73,10 @@ def test_slow_leader_nic_gates_throughput():
     slowing it down cuts cluster throughput proportionally."""
     results = {}
     for label, leader_bw in (("fast", None), ("slow", 5e6)):
-        cluster = Cluster(
-            3, seed=321,
-            net_config=NetworkConfig(bandwidth_bps=25e6),
-        ).start()
+        cluster = Cluster(ClusterConfig(
+            n_voters=3, seed=321,
+            net=NetworkConfig(bandwidth_bps=25e6),
+        )).start()
         cluster.run_until_stable(timeout=30)
         if leader_bw is not None:
             cluster.network.set_node_bandwidth(

@@ -476,11 +476,12 @@ def test_registry_snapshot_deep_sorts_provider_dicts():
 def test_phase_spans_with_observer_nodes():
     """Observer (non-voting) peers appear in the trace — synced by the
     leader and committing — without perturbing span reconstruction."""
-    from repro.harness.cluster import Cluster
+    from repro.harness.cluster import Cluster, ClusterConfig
 
     tracer = Tracer()
     tracer.disable("net.")
-    cluster = Cluster(3, n_observers=1, seed=7, tracer=tracer).start()
+    cluster = Cluster(ClusterConfig(n_voters=3, n_observers=1, seed=7,
+                      tracer=tracer)).start()
     cluster.run_until_stable()
     for k in range(5):
         cluster.submit_and_wait(("put", "k%d" % k, k))

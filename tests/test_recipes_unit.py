@@ -3,14 +3,14 @@ tests/integration/test_recipes.py)."""
 
 from repro.app import DataTreeStateMachine
 from repro.client import Client
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.recipes import DistributedLock, GroupMembership
 
 
 def tree_cluster(seed):
-    cluster = Cluster(
-        3, seed=seed, app_factory=DataTreeStateMachine,
-    ).start()
+    cluster = Cluster(ClusterConfig(
+        n_voters=3, seed=seed, app_factory=DataTreeStateMachine,
+    )).start()
     cluster.run_until_stable(timeout=30)
     cluster.submit_and_wait(("create", "/lock", b"", "", None))
     cluster.submit_and_wait(("create", "/group", b"", "", None))

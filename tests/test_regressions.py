@@ -4,7 +4,7 @@ Each test documents a real defect this repo's own testing surfaced
 during development, so the fix never silently regresses.
 """
 
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.sim import Simulator
 from repro.storage import DiskModel, TxnLog
 from repro.zab import messages
@@ -97,10 +97,10 @@ def test_role_change_discards_stale_in_flight_traffic():
 def test_slow_disk_cluster_full_lifecycle():
     """End-to-end coverage of the configuration that exposed all of the
     above: serial fsync (no group commit), deep pipeline, failover."""
-    cluster = Cluster(
-        3, seed=302, disk="model", fsync_latency=0.002,
-        group_commit=False, max_outstanding=64,
-    ).start()
+    cluster = Cluster(ClusterConfig(
+        n_voters=3, seed=302, disk="model", fsync_latency=0.002,
+        group_commit=False, zab={"max_outstanding": 64},
+    )).start()
     cluster.run_until_stable(timeout=30)
     done = []
     for i in range(40):

@@ -3,12 +3,12 @@
 import pytest
 
 from repro.common.errors import NotLeaderError
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.net import NetworkConfig
 
 
-def stable_cluster(n=3, seed=20, **kwargs):
-    cluster = Cluster(n, seed=seed, **kwargs).start()
+def stable_cluster(n=3, seed=20, **zab):
+    cluster = Cluster(ClusterConfig(n_voters=n, seed=seed, zab=zab)).start()
     cluster.run_until_stable(timeout=30)
     return cluster
 
@@ -124,10 +124,10 @@ def test_broadcast_properties_hold_under_load():
 def test_lossy_network_preserves_safety():
     # Zab assumes reliable channels for liveness; safety must survive
     # a misbehaving transport anyway.
-    cluster = Cluster(
-        3, seed=22,
-        net_config=NetworkConfig(loss_rate=0.02),
-    ).start()
+    cluster = Cluster(ClusterConfig(
+        n_voters=3, seed=22,
+        net=NetworkConfig(loss_rate=0.02),
+    )).start()
     cluster.run_until_stable(timeout=60)
     submitted = 0
     for i in range(30):

@@ -1,11 +1,12 @@
 """Tests for checkpoint-digest divergence detection."""
 
 from repro.app.kvstore import KVStateMachine
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 
 
 def digest_cluster(seed, every=5):
-    cluster = Cluster(3, seed=seed, digest_every=every).start()
+    cluster = Cluster(ClusterConfig(n_voters=3, seed=seed,
+                      zab={"digest_every": every})).start()
     cluster.run_until_stable(timeout=30)
     return cluster
 

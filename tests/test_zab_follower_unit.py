@@ -1,12 +1,12 @@
 """Follower-context behaviours that deserve direct pinning."""
 
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.zab import messages
 from repro.zab.zxid import Zxid
 
 
 def stable_cluster(seed, **kwargs):
-    cluster = Cluster(3, seed=seed, **kwargs).start()
+    cluster = Cluster(ClusterConfig(n_voters=3, seed=seed, **kwargs)).start()
     cluster.run_until_stable(timeout=30)
     return cluster
 

@@ -1,11 +1,12 @@
 """Observer edge cases beyond the happy path."""
 
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.zab import messages
 
 
 def observer_cluster(seed, **kwargs):
-    cluster = Cluster(3, n_observers=1, seed=seed, **kwargs).start()
+    cluster = Cluster(ClusterConfig(
+        n_voters=3, n_observers=1, seed=seed, **kwargs)).start()
     cluster.run_until_stable(timeout=30)
     return cluster
 
@@ -27,8 +28,8 @@ def test_observer_crash_and_recover_catches_up():
 
 def test_observer_snap_syncs_when_far_behind():
     cluster = observer_cluster(
-        211, snapshot_every=20, snap_sync_threshold=10,
-        purge_logs_on_snapshot=True,
+        211, zab={"snapshot_every": 20, "snap_sync_threshold": 10,
+                  "purge_logs_on_snapshot": True},
     )
     cluster.crash(4)
     for i in range(50):

@@ -5,7 +5,7 @@ import pytest
 from repro.app.kvstore import KVStateMachine
 from repro.app.statemachine import Txn
 from repro.common.errors import NotLeaderError
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.net import Network
 from repro.sim import Simulator
 from repro.storage import Snapshot
@@ -103,9 +103,10 @@ def test_adopt_history_replaces_log_and_snapshot():
 
 
 def test_snapshot_cadence_and_purging():
-    cluster = Cluster(
-        3, seed=80, snapshot_every=10, purge_logs_on_snapshot=True,
-    ).start()
+    cluster = Cluster(ClusterConfig(
+        n_voters=3, seed=80,
+        zab={"snapshot_every": 10, "purge_logs_on_snapshot": True},
+    )).start()
     cluster.run_until_stable(timeout=30)
     for i in range(25):
         cluster.submit_and_wait(("put", "k%d" % i, i))

@@ -5,7 +5,7 @@ any intersecting quorum system.  These tests run full clusters with
 custom verifiers and check both behaviour and the PO properties.
 """
 
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.zab import HierarchicalQuorum, WeightedQuorum
 
 
@@ -13,7 +13,7 @@ def test_weighted_quorum_zero_weight_voter_is_optional():
     # Peers 1..3 carry all the weight; peer 4 participates but its vote
     # never matters for quorum.
     quorum = WeightedQuorum({1: 1, 2: 1, 3: 1, 4: 0})
-    cluster = Cluster(4, seed=70, quorum=quorum).start()
+    cluster = Cluster(ClusterConfig(n_voters=4, seed=70, zab={"quorum": quorum})).start()
     cluster.run_until_stable(timeout=30)
     cluster.submit_and_wait(("put", "a", 1))
     # Peer 4 wins the initial election on id tie-break; crashing it must
@@ -28,7 +28,7 @@ def test_weighted_quorum_zero_weight_voter_is_optional():
 def test_weighted_quorum_heavy_voter_blocks_when_down():
     # Peer 3 holds 3 of 5 weight: no quorum exists without it.
     quorum = WeightedQuorum({1: 1, 2: 1, 3: 3})
-    cluster = Cluster(3, seed=71, quorum=quorum).start()
+    cluster = Cluster(ClusterConfig(n_voters=3, seed=71, zab={"quorum": quorum})).start()
     cluster.run_until_stable(timeout=30)
     cluster.submit_and_wait(("put", "a", 1))
     cluster.crash(3)
@@ -48,7 +48,7 @@ def test_hierarchical_quorum_needs_majority_of_groups():
         "g2": {3: 1, 4: 1},
         "g3": {5: 1},
     })
-    cluster = Cluster(5, seed=72, quorum=quorum).start()
+    cluster = Cluster(ClusterConfig(n_voters=5, seed=72, zab={"quorum": quorum})).start()
     cluster.run_until_stable(timeout=30)
     cluster.submit_and_wait(("put", "a", 1))
     # Losing one full group still leaves groups g1 and g3.
@@ -66,7 +66,7 @@ def test_hierarchical_quorum_blocks_without_group_majorities():
         "g2": {3: 1, 4: 1},
         "g3": {5: 1},
     })
-    cluster = Cluster(5, seed=73, quorum=quorum).start()
+    cluster = Cluster(ClusterConfig(n_voters=5, seed=73, zab={"quorum": quorum})).start()
     cluster.run_until_stable(timeout=30)
     # Kill one peer of each 2-peer group and the whole of g3: no two
     # groups can form internal majorities (g1 and g2 are at 1 of 2).

@@ -1,11 +1,11 @@
 """Integration tests for crash recovery and synchronisation (Phases 1-2)."""
 
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.zab import messages
 
 
 def stable_cluster(n=3, seed=30, **kwargs):
-    cluster = Cluster(n, seed=seed, **kwargs).start()
+    cluster = Cluster(ClusterConfig(n_voters=n, seed=seed, **kwargs)).start()
     cluster.run_until_stable(timeout=30)
     return cluster
 
@@ -84,8 +84,8 @@ def test_epoch_advances_and_zxids_restart():
 
 def test_snap_sync_for_far_behind_follower():
     cluster = stable_cluster(
-        n=3, snapshot_every=20, snap_sync_threshold=10,
-        purge_logs_on_snapshot=True,
+        n=3, zab={"snapshot_every": 20, "snap_sync_threshold": 10,
+                  "purge_logs_on_snapshot": True},
     )
     follower = next(
         peer for peer in cluster.peers.values() if peer.is_active_follower

@@ -6,12 +6,12 @@ a sync-read observes at least every transaction the leader had committed
 when the sync was issued.
 """
 
-from repro.harness import Cluster
+from repro.harness import Cluster, ClusterConfig
 from repro.net import NetworkConfig
 
 
 def stable_cluster(seed=120, **kwargs):
-    cluster = Cluster(3, seed=seed, **kwargs).start()
+    cluster = Cluster(ClusterConfig(n_voters=3, seed=seed, **kwargs)).start()
     cluster.run_until_stable(timeout=30)
     return cluster
 
@@ -39,7 +39,7 @@ def test_sync_read_on_leader_waits_for_pipeline():
 
 def test_plain_follower_read_can_be_stale_but_sync_read_is_fresh():
     cluster = stable_cluster(
-        net_config=NetworkConfig(latency=0.002, jitter=0.0)
+        net=NetworkConfig(latency=0.002, jitter=0.0)
     )
     leader, follower = lagging_follower(cluster)
     cluster.submit_and_wait(("put", "k", "old"))
