@@ -25,7 +25,11 @@ Checks every line against the format in docs/OBSERVABILITY.md:
   an unattributed node-scoped event is useless to the health
   monitor's per-node detectors;
 - per-node timestamps are monotonic too: events attributed to one
-  node never go backwards relative to that node's own stream.
+  node never go backwards relative to that node's own stream;
+- a flight-recorder dump's ``recorder.dump`` marker — cluster-scoped,
+  carrying a non-empty string ``reason`` — may appear at most once and
+  only as the very last event, so a black box is recognisable by its
+  tail and a truncated dump (marker missing or buried) fails loudly.
 
 Exits 0 and prints a per-kind tally on success; exits 1 with the
 offending line number on the first violation.
@@ -47,10 +51,14 @@ KNOWN_KINDS = {
     "log.append", "log.durable", "log.flush",
     "fault.crash", "fault.recover", "fault.partition", "fault.heal",
     "fault.slow_disk", "fault.restore_disk",
+    "recorder.dump",
 }
 
-# Every kind is node-scoped except the cluster-wide fault events.
-NODE_REQUIRED = KNOWN_KINDS - {"fault.partition", "fault.heal"}
+# Every kind is node-scoped except the cluster-wide fault events and
+# the flight-recorder dump marker.
+NODE_REQUIRED = KNOWN_KINDS - {
+    "fault.partition", "fault.heal", "recorder.dump",
+}
 
 # Commit-path kinds must carry a zxid so spans can correlate them.
 ZXID_REQUIRED = {
@@ -80,6 +88,7 @@ def validate(handle):
     counts = {}
     last_t = None
     last_t_by_node = {}
+    marker_line = None
     for lineno, line in enumerate(handle, start=1):
         line = line.strip()
         if not line:
@@ -127,6 +136,12 @@ def validate(handle):
                 "line %d: undocumented kind %r (update the catalogue "
                 "and docs/OBSERVABILITY.md)" % (lineno, kind)
             )
+        if marker_line is not None:
+            raise ValueError(
+                "line %d: event after the recorder.dump marker "
+                "(line %d) — the marker must be the final event"
+                % (lineno, marker_line)
+            )
         if node is None and kind in NODE_REQUIRED:
             raise ValueError(
                 "line %d: node-scoped kind %s has node=null"
@@ -143,6 +158,14 @@ def validate(handle):
                 "line %d: %s needs zxid=[epoch, counter], got %r"
                 % (lineno, kind, fields.get("zxid"))
             )
+        if kind == "recorder.dump":
+            marker_line = lineno
+            reason = fields.get("reason")
+            if not isinstance(reason, str) or not reason:
+                raise ValueError(
+                    "line %d: recorder.dump needs a non-empty string "
+                    "reason, got %r" % (lineno, reason)
+                )
         if kind in MSG_ID_REQUIRED:
             msg_id = fields.get("msg_id")
             if (

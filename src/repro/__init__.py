@@ -39,6 +39,7 @@ from repro.zab.dissemination import (
 )
 from repro.obs import (
     CausalityGraph,
+    FlightRecorder,
     HealthMonitor,
     MetricsRegistry,
     TimeSeries,
@@ -47,6 +48,7 @@ from repro.obs import (
     build_spans,
     profile_trace,
     run_health_check,
+    to_chrome_trace,
 )
 
 __version__ = "1.4.0"
@@ -70,6 +72,8 @@ __all__ = [
     "CheckerState",
     "Trace",
     "Tracer",
+    "FlightRecorder",
+    "to_chrome_trace",
     "MetricsRegistry",
     "TxnSpan",
     "build_spans",

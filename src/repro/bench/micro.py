@@ -33,6 +33,15 @@ Four probes, one per hot layer:
   plus the *deterministic* ``.leader_egress_bytes_per_txn`` that
   separates the topologies (∝ n-1 for leader-direct, ~flat for
   chain/ring, ∝ fan-out for tree).
+- **tracing** — the observability overhead probe: the same committed-
+  write loop under four instrumentation postures — tracer off,
+  flight-recorder-only (the always-on black box), deterministic
+  sampling, and full tracing.  ``tracing.<mode>.relative_throughput``
+  normalises each mode against tracer-off, immune to runner-speed
+  differences, and the gated ``tracing.recorder.overhead`` pins the
+  black box's hot-path cost at ≤5%; the deterministic ``tracing.
+  sampled.events`` / ``tracing.full.events`` counts double as a
+  cross-platform sampling-determinism check.
 
 Workloads are deterministic (fixed seeds, fixed op counts); only the
 clock is real, so run-to-run noise is scheduler jitter plus CPU-speed
@@ -41,6 +50,8 @@ differences between machines.  The committed baseline therefore carries
 hot-path regressions, not 10% wobble.
 """
 
+import gc
+import statistics
 import time
 
 from repro.bench.report import make_report, write_report
@@ -53,6 +64,8 @@ FABRIC_MESSAGES = 60_000
 CHECKER_EVENTS = 60_000
 EXPLORE_DEPTH = 3
 DISSEMINATION_OPS = 400
+TRACING_OPS = 5000
+TRACING_SAMPLE_RATE = 8
 
 
 def _best_of(fn, repeat):
@@ -342,6 +355,123 @@ def bench_dissemination(ops=DISSEMINATION_OPS, n_voters=5, repeat=1,
 
 
 # ---------------------------------------------------------------------------
+# Tracing overhead
+# ---------------------------------------------------------------------------
+
+def bench_tracing(ops=TRACING_OPS, n_voters=3, repeat=5):
+    """Observability cost of each instrumentation posture.
+
+    Runs the same committed-write loop through the full peer stack
+    four ways -- ``off`` (bare ``NULL_TRACER``), ``recorder`` (the
+    default always-on :class:`~repro.obs.FlightRecorder` black box),
+    ``sampled`` (a :class:`~repro.obs.Tracer` with deterministic
+    1-in-``TRACING_SAMPLE_RATE`` sampling on the per-message kinds),
+    and ``full`` (record everything) -- and reports wall-clock
+    committed ops/second per mode plus each mode's throughput relative
+    to ``off``.  The ``sampled``/``full`` sections run ``ops // 4``
+    writes: they are 2x slower per op and their ratios carry loose
+    tolerances, so shorter sections keep the probe's wall time down
+    without touching the gated measurement.
+
+    The gated number is ``tracing.recorder.overhead`` =
+    ``max(0, 1 - relative_throughput)``: pinned near zero in the
+    baseline it enforces "the black box costs at most a few percent"
+    on any runner, and clamping at zero means a lucky
+    faster-than-off reading can never trip the symmetric gate.
+
+    Because the true recorder cost is a single attribute check per hot
+    event, the measurement's enemy is scheduler noise, not signal.
+    Three defences keep it honest: the modes run in *interleaved*
+    round-robin rounds (off, recorder, sampled, full, off, ...) so a
+    slow episode lands on every mode rather than whichever one it
+    happened to overlap; the GC is collected, then disabled, around
+    each timed section so collection pauses don't land in one mode's
+    account; and each relative_throughput is the more favourable of
+    two estimators -- best-of/best-of across rounds, and the median of
+    per-round (adjacent-in-time) ratios -- each of which survives the
+    noise shapes that contaminate the other (a long throttle window
+    spanning several rounds, respectively a burst inside one round).
+    The event *counts* are simulation-deterministic and double as a
+    sampling-determinism check.
+    """
+    from repro.harness.cluster import Cluster
+    from repro.harness.config import ClusterConfig
+    from repro.obs import FlightRecorder, Tracer
+
+    counts = {}
+
+    def run_once(mode, mode_ops):
+        kwargs = {"recorder": False}
+        if mode == "recorder":
+            kwargs["recorder"] = FlightRecorder()
+        elif mode == "sampled":
+            tracer = Tracer()
+            tracer.sample(
+                TRACING_SAMPLE_RATE,
+                "net.", "log.", "leader.", "follower.", "peer.",
+            )
+            kwargs["tracer"] = tracer
+        elif mode == "full":
+            kwargs["tracer"] = Tracer()
+        cluster = Cluster(ClusterConfig(
+            n_voters=n_voters, seed=1, **kwargs
+        )).start()
+        cluster.run_until_stable(timeout=60.0)
+        done = []
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            for index in range(mode_ops):
+                cluster.submit(("put", "k%d" % (index % 16), index),
+                               callback=lambda r, z: done.append(None))
+            cluster.run_until(lambda: len(done) >= mode_ops, timeout=60.0)
+            elapsed = time.perf_counter() - t0
+        finally:
+            gc.enable()
+        assert len(done) >= mode_ops, (mode, len(done))
+        if mode == "recorder":
+            counts["tracing.recorder.events"] = float(
+                cluster.recorder.recorded
+            )
+        elif mode in ("sampled", "full"):
+            counts["tracing.%s.events" % mode] = float(
+                len(cluster.tracer.events)
+            )
+        return mode_ops / elapsed if elapsed > 0 else 0.0
+
+    mode_ops = {
+        "off": ops, "recorder": ops,
+        "sampled": max(1, ops // 4), "full": max(1, ops // 4),
+    }
+    modes = ("off", "recorder", "sampled", "full")
+    best = dict.fromkeys(modes, 0.0)
+    pair_ratios = {mode: [] for mode in modes[1:]}
+    for _ in range(repeat):
+        rates = {mode: run_once(mode, mode_ops[mode]) for mode in modes}
+        for mode in modes:
+            best[mode] = max(best[mode], rates[mode])
+        if rates["off"] > 0:
+            for mode in modes[1:]:
+                pair_ratios[mode].append(rates[mode] / rates["off"])
+    metrics = {"tracing.off.ops_per_s": best["off"]}
+    for mode in modes[1:]:
+        estimates = []
+        if best["off"] > 0:
+            estimates.append(best[mode] / best["off"])
+        if pair_ratios[mode]:
+            estimates.append(statistics.median(pair_ratios[mode]))
+        ratio = max(estimates) if estimates else 0.0
+        metrics["tracing.%s.ops_per_s" % mode] = best[mode]
+        metrics["tracing.%s.relative_throughput" % mode] = ratio
+    metrics["tracing.recorder.overhead"] = max(
+        0.0, 1.0 - metrics["tracing.recorder.relative_throughput"]
+    )
+    metrics.update(counts)
+    return metrics
+
+
+# ---------------------------------------------------------------------------
 # Suite
 # ---------------------------------------------------------------------------
 
@@ -372,6 +502,13 @@ def run_micro_suite(quick=False, progress=None):
         ("dissemination", lambda: bench_dissemination(
             ops=DISSEMINATION_OPS // scale,
             repeat=1,
+        )),
+        # Quick mode shrinks the tracing probe like the others; only
+        # the full-size run (perf CI, baseline refresh) produces the
+        # gated overhead ratio with its stability guarantees.
+        ("tracing", lambda: bench_tracing(
+            ops=TRACING_OPS // scale,
+            repeat=1 if quick else 5,
         )),
     )
     metrics = {}
@@ -404,6 +541,16 @@ def render_micro(metrics):
             topology = key[len(prefix):-len(".messages_per_s")]
             rows.append(("dissemination (%s)" % topology, key,
                          "messages/s"))
+    for mode in ("off", "recorder", "sampled", "full"):
+        key = "tracing.%s.ops_per_s" % mode
+        if key in metrics:
+            relative = metrics.get(
+                "tracing.%s.relative_throughput" % mode
+            )
+            unit = "ops/s" if relative is None else (
+                "ops/s (%.0f%% of off)" % (relative * 100)
+            )
+            rows.append(("tracing (%s)" % mode, key, unit))
     lines = ["%-22s %14s %s" % ("hot path", "rate", "unit")]
     for label, key, unit in rows:
         value = metrics.get(key)

@@ -135,8 +135,77 @@ def _cmd_bench_micro(args):
     return 0
 
 
+def _parse_kinds(spec):
+    """Split a --kinds value into patterns (exact or ``"net."``)."""
+    return [kind.strip() for kind in spec.split(",") if kind.strip()]
+
+
+def _kind_matches(kind, patterns):
+    return any(
+        kind == pattern
+        or (pattern.endswith(".") and kind.startswith(pattern))
+        for pattern in patterns
+    )
+
+
+def _cmd_trace_view(args):
+    """Inspect an existing JSONL trace or flight-recorder dump."""
+    from repro import obs
+
+    try:
+        events = obs.load_jsonl(args.view)
+    except (OSError, ValueError, KeyError) as exc:
+        print("cannot read %s: %s" % (args.view, exc), file=sys.stderr)
+        return 2
+    marker = None
+    if events and events[-1].kind == "recorder.dump":
+        marker = events[-1]
+        events = events[:-1]
+    if args.kinds:
+        patterns = _parse_kinds(args.kinds)
+        events = [
+            event for event in events
+            if _kind_matches(event.kind, patterns)
+        ]
+    if args.limit > 0:
+        events = events[-args.limit:]
+    if marker is not None:
+        fields = marker.fields
+        print("flight recorder dump: reason=%s retained=%s dropped=%s "
+              "capacity=%s"
+              % (fields.get("reason"), fields.get("retained"),
+                 fields.get("dropped"), fields.get("capacity")))
+        extra = {
+            key: value for key, value in sorted(fields.items())
+            if key not in ("reason", "retained", "dropped", "capacity")
+        }
+        if extra:
+            print("  %s" % extra)
+        print()
+    if not events:
+        print("no events%s" % (" match" if args.kinds else ""))
+        return 0
+    print(obs.render_summary(obs.summarize(events)))
+    print()
+    tail = events[-min(len(events), 20):]
+    print("last %d events:" % len(tail))
+    for event in tail:
+        print("  t=%-10.6f node=%-4s %-22s %s"
+              % (event.t, "-" if event.node is None else event.node,
+                 event.kind, event.fields))
+    if args.perfetto:
+        obs.dump_chrome_trace(events, args.perfetto)
+        print("perfetto:   %s events -> %s (open in ui.perfetto.dev)"
+              % (len(events), args.perfetto))
+    return 0
+
+
 def cmd_trace(args):
     from repro import obs
+
+    if args.view:
+        return _cmd_trace_view(args)
+
     from repro.harness.scenarios import crash_recovery_timeline
 
     # Open the output first: a bad path should fail before the
@@ -146,11 +215,19 @@ def cmd_trace(args):
     except OSError as exc:
         print("cannot write %s: %s" % (args.out, exc), file=sys.stderr)
         return 2
-    tracer = obs.Tracer()
-    if not args.net:
-        # Wire-level events dominate the file (~10 per op); keep the
-        # default trace focused on the protocol timeline.
-        tracer.disable("net.")
+    if args.kinds:
+        tracer = obs.Tracer(kinds=_parse_kinds(args.kinds))
+    else:
+        tracer = obs.Tracer()
+        if not args.net:
+            # Wire-level events dominate the file (~10 per op); keep
+            # the default trace focused on the protocol timeline.
+            tracer.disable("net.")
+    if args.sample > 1:
+        tracer.sample(
+            args.sample,
+            "net.", "log.", "leader.", "follower.", "peer.",
+        )
     registry = obs.MetricsRegistry()
     cluster, driver, schedule = crash_recovery_timeline(
         n_voters=args.servers,
@@ -160,9 +237,12 @@ def cmd_trace(args):
         tracer=tracer,
         metrics=registry,
     )
+    events = tracer.events
+    if args.limit > 0:
+        events = events[-args.limit:]
     with out:
-        count = obs.dump_jsonl(tracer, out)
-    print(obs.render_summary(obs.summarize(tracer.events)))
+        count = obs.dump_jsonl(events, out)
+    print(obs.render_summary(obs.summarize(events)))
     print()
     snapshot = registry.snapshot()
     print("zab:        commits=%d elections=%d leader=%s epoch=%s"
@@ -176,6 +256,10 @@ def cmd_trace(args):
     print("driver:     submitted=%d committed=%d"
           % (driver.submitted, driver.committed))
     print("trace:      %d events -> %s" % (count, args.out))
+    if args.perfetto:
+        obs.dump_chrome_trace(events, args.perfetto)
+        print("perfetto:   %d events -> %s (open in ui.perfetto.dev)"
+              % (len(events), args.perfetto))
     report = cluster.check_properties()
     print("properties: %s" % ("OK" if report.ok else "VIOLATED"))
     return 0 if report.ok else 1
@@ -465,6 +549,7 @@ def cmd_explore(args):
             return 2
         leader_factory = bug.factory
 
+    out_dir = args.out or "explore-results"
     config = ExplorerConfig(
         peers=args.peers,
         depth=args.depth,
@@ -478,6 +563,7 @@ def cmd_explore(args):
         jitter=0.0 if args.interleave else None,
         leader_factory=leader_factory,
         dissemination=args.dissemination,
+        recorder_dir=out_dir,
     )
 
     def progress(result):
@@ -507,7 +593,6 @@ def cmd_explore(args):
         print("error on prefix %s: %s" % (list(prefix), error))
 
     if result.violations:
-        out_dir = args.out or "explore-results"
         os.makedirs(out_dir, exist_ok=True)
         for index, violation in enumerate(result.violations):
             path = violation.schedule.save(
@@ -522,6 +607,8 @@ def cmd_explore(args):
                       % (action.time, action.kind,
                          "" if action.target is None else action.target))
             print("  saved %s" % path)
+            if violation.flight_path:
+                print("  flight recorder: %s" % violation.flight_path)
             print("  minimize: repro shrink --schedule %s%s"
                   % (path, " --buggy %s" % args.buggy if args.buggy
                      else ""))
@@ -678,6 +765,25 @@ def build_parser():
                          help="JSONL output path (default trace.jsonl)")
     p_trace.add_argument("--net", action="store_true",
                          help="include wire-level net.* events (large)")
+    p_trace.add_argument("--kinds", default=None, metavar="LIST",
+                         help="record only these comma-separated kinds "
+                              "(exact names or 'net.'-style prefixes), "
+                              "e.g. 'leader.,fault.heal'; overrides "
+                              "--net")
+    p_trace.add_argument("--limit", type=int, default=0, metavar="N",
+                         help="keep only the last N events (0 = all)")
+    p_trace.add_argument("--sample", type=int, default=1, metavar="RATE",
+                         help="deterministically keep ~1-in-RATE "
+                              "transactions on the per-message kinds "
+                              "(full span fidelity for kept ones)")
+    p_trace.add_argument("--perfetto", default=None, metavar="PATH",
+                         help="also export a Chrome/Perfetto trace-event "
+                              "JSON file for ui.perfetto.dev")
+    p_trace.add_argument("--view", default=None, metavar="FILE",
+                         help="inspect an existing JSONL trace or "
+                              "flight-recorder dump instead of running "
+                              "the scenario (honours --kinds/--limit/"
+                              "--perfetto)")
     p_trace.set_defaults(fn=cmd_trace)
 
     p_profile = sub.add_parser(

@@ -7,11 +7,14 @@ operations, crash/recover/partition peers, and check the PO broadcast
 properties of everything that happened.
 """
 
+import os
+
 from repro.checker import check_all, Trace
 from repro.common.errors import ConfigError
 from repro.harness.config import ClusterConfig
 from repro.net import Network, NetworkConfig
 from repro.obs import NULL_TRACER
+from repro.obs.recorder import FlightRecorder
 from repro.sim import Simulator
 from repro.storage.disk import DiskModel
 from repro.zab.peer import PeerStorage, ZabPeer
@@ -55,8 +58,25 @@ class Cluster:
             )
         self.cluster_config = spec
         self.sim = Simulator(seed=spec.seed)
-        tracer = spec.tracer if spec.tracer is not None else NULL_TRACER
-        self.tracer = tracer.bind(self.sim)
+        recorder = spec.recorder
+        if recorder is True:
+            recorder = FlightRecorder()
+        elif recorder is False:
+            recorder = None
+        self.recorder = recorder
+        if spec.tracer is not None:
+            # Explicit tracer: it records; the black box (if any)
+            # rides its observer feed and keeps the stream's tail.
+            self.tracer = spec.tracer.bind(self.sim)
+            if self.recorder is not None:
+                self.recorder.bind(self.sim)
+                self.tracer.add_observer(self.recorder.record_event)
+        elif self.recorder is not None:
+            # Tracing "off" still arms the black box: the recorder is
+            # the cluster tracer, bounded and dump-on-violation only.
+            self.tracer = self.recorder.bind(self.sim)
+        else:
+            self.tracer = NULL_TRACER
         self.metrics = spec.metrics
         self.network = Network(
             self.sim, spec.net or NetworkConfig(), tracer=self.tracer
@@ -299,12 +319,35 @@ class Cluster:
         """Check the six PO broadcast properties over the whole run."""
         return check_all(self.trace)
 
-    def assert_properties(self):
-        """Raise AssertionError with details if any property failed."""
+    def assert_properties(self, recorder_dir=None):
+        """Raise AssertionError with details if any property failed.
+
+        With *recorder_dir* set, a failing check first dumps the
+        flight recorder's black box to ``<recorder_dir>/flight.jsonl``
+        so the violation ships with its recent-event context.
+        """
         report = self.check_properties()
         if not report.ok:
+            self.dump_flight(
+                recorder_dir, reason="checker_violation",
+                violations=sorted(report.violated_properties()),
+            )
             raise AssertionError(
                 "broadcast properties violated: %s"
                 % report.violations[:10]
             )
         return report
+
+    def dump_flight(self, recorder_dir, reason, filename="flight.jsonl",
+                    **fields):
+        """Dump the black box into *recorder_dir*; None disables.
+
+        Returns the dump path, or None when there is no recorder or no
+        directory was given.  The directory is created on demand.
+        """
+        if recorder_dir is None or self.recorder is None:
+            return None
+        os.makedirs(recorder_dir, exist_ok=True)
+        path = os.path.join(recorder_dir, filename)
+        self.recorder.dump(path, reason=reason, **fields)
+        return path

@@ -37,6 +37,7 @@ _LEGACY_FIELD_MAP = {
     "dissemination": "dissemination",
     "checker_trace": "checker_trace",
     "tracer": "tracer",
+    "recorder": "recorder",
     "metrics": "metrics",
     "leader_factory": "leader_factory",
 }
@@ -70,6 +71,17 @@ class ClusterConfig:
         Observability wiring: the shared PO-property checker trace, a
         structured-event :class:`~repro.obs.Tracer`, and a
         :class:`~repro.obs.MetricsRegistry`.
+    recorder
+        The always-on flight recorder (black box).  ``True`` (default)
+        builds a fresh :class:`~repro.obs.FlightRecorder` in its
+        near-zero-cost control-plane posture (elections, sync, role
+        transitions, faults — the microbench gate holds it within 5%
+        of tracing off); pass an instance to control capacity or
+        posture (``FlightRecorder(capture="all")`` rings the full
+        stream), or ``False``/``None`` for the bare ``NULL_TRACER``
+        path.  Without a ``tracer`` the recorder *is* the cluster
+        tracer; with one it rides the tracer's observer feed and
+        retains the tail of the recorded stream.
     leader_factory
         Leader-context factory seam (fault-injection tests plant broken
         leaders here; see :mod:`repro.harness.buggy`).
@@ -90,6 +102,7 @@ class ClusterConfig:
     dissemination: object = "leader-direct"
     checker_trace: object = None
     tracer: object = None
+    recorder: object = True
     metrics: object = None
     leader_factory: object = None
     zab: dict = dataclasses.field(default_factory=dict)

@@ -74,8 +74,15 @@ class ReplayResult:
 def replay_schedule(schedule, n_voters=None, seed=None, op_interval=None,
                     settle=2.0, timeout=60.0, op=("incr", "campaign", 1),
                     leader_factory=None, tracer=None, metrics=None,
-                    dissemination=None, **cluster_kwargs):
+                    dissemination=None, recorder_dir=None, **cluster_kwargs):
     """Run *schedule* against a fresh cluster; returns a ReplayResult.
+
+    With *recorder_dir* set, any failing replay (checker violation,
+    divergence, or a run that never stabilised) dumps the cluster's
+    flight recorder to ``<recorder_dir>/flight.jsonl`` before
+    returning, so the failure ships its black box even with tracing
+    off.  The dump is deterministic: replaying the same schedule on
+    the same seed writes byte-identical flight files.
 
     ``n_voters`` / ``seed`` / ``op_interval`` / ``dissemination``
     default to the schedule's own ``meta`` (falling back to 3 voters,
@@ -106,6 +113,7 @@ def replay_schedule(schedule, n_voters=None, seed=None, op_interval=None,
     try:
         cluster.run_until_stable(timeout=timeout)
     except TimeoutError as exc:
+        cluster.dump_flight(recorder_dir, reason="never_stable")
         return ReplayResult(
             schedule, False, False, [], (), cluster=cluster,
             error="never stable: %s" % exc,
@@ -141,6 +149,7 @@ def replay_schedule(schedule, n_voters=None, seed=None, op_interval=None,
     try:
         cluster.run_until_stable(timeout=timeout)
     except TimeoutError as exc:
+        cluster.dump_flight(recorder_dir, reason="never_restabilised")
         return ReplayResult(
             schedule, False, False, [], (), cluster=cluster, fired=fired,
             error="never re-stabilised: %s" % exc,
@@ -153,6 +162,15 @@ def replay_schedule(schedule, n_voters=None, seed=None, op_interval=None,
         for state in cluster.states().values()
     }
     converged = len(states) == 1
+    if not (report.ok and converged):
+        signature = violation_signature(report, converged)
+        cluster.dump_flight(
+            recorder_dir, reason="replay_violation",
+            signature=[
+                [prop, None if zxid is None else list(zxid)]
+                for prop, zxid in signature
+            ],
+        )
     return ReplayResult(
         schedule,
         ok=report.ok,

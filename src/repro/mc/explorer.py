@@ -22,6 +22,8 @@ or ``max_states`` the result says so and reports how many frontier
 prefixes were left unexplored — no silent caps.
 """
 
+import os
+
 from repro.checker import CheckerState
 from repro.harness.cluster import Cluster
 from repro.harness.config import ClusterConfig
@@ -71,13 +73,19 @@ class ExplorerConfig:
         ``repro.DISSEMINATION_TOPOLOGIES``).  Recorded in each emitted
         schedule's ``meta`` so replays and shrinks run the same
         topology.
+    recorder_dir
+        Directory for flight-recorder dumps.  When set, every distinct
+        violation ships its black box — the violating execution's
+        recent events — as ``violation-<n>.flight.jsonl`` next to the
+        violation record (``None`` disables dumping; the recorder
+        itself always rides along).
     """
 
     def __init__(self, peers=3, depth=8, seed=0, step_interval=0.25,
                  op_interval=0.02, settle=2.0, timeout=60.0,
                  max_schedules=256, max_states=4096, max_violations=1,
                  interleave=False, jitter=None, leader_factory=None,
-                 dissemination="leader-direct"):
+                 dissemination="leader-direct", recorder_dir=None):
         self.peers = peers
         self.depth = depth
         self.seed = seed
@@ -92,6 +100,7 @@ class ExplorerConfig:
         self.jitter = jitter
         self.leader_factory = leader_factory
         self.dissemination = dissemination
+        self.recorder_dir = recorder_dir
 
     def net_config(self):
         """The NetworkConfig override, or None for the stock fabric."""
@@ -105,15 +114,16 @@ class Violation:
     """One distinct way the explored system broke."""
 
     __slots__ = ("schedule", "signature", "confirmed", "replay_signature",
-                 "prefix")
+                 "prefix", "flight_path")
 
     def __init__(self, schedule, signature, confirmed, replay_signature,
-                 prefix):
+                 prefix, flight_path=None):
         self.schedule = schedule
         self.signature = signature
         self.confirmed = confirmed
         self.replay_signature = replay_signature
         self.prefix = prefix
+        self.flight_path = flight_path
 
     def to_json(self):
         return {
@@ -123,6 +133,7 @@ class Violation:
                 list(entry) for entry in self.replay_signature
             ] if self.replay_signature is not None else None,
             "prefix": list(self.prefix),
+            "flight_path": self.flight_path,
             "schedule": self.schedule.to_json(),
         }
 
@@ -188,15 +199,17 @@ class ExplorationResult:
 class _RunOutcome:
     """What one execution of a decision prefix produced."""
 
-    __slots__ = ("chooser", "schedule", "signature", "pruned", "error")
+    __slots__ = ("chooser", "schedule", "signature", "pruned", "error",
+                 "recorder")
 
     def __init__(self, chooser, schedule=None, signature=(), pruned=False,
-                 error=None):
+                 error=None, recorder=None):
         self.chooser = chooser
         self.schedule = schedule
         self.signature = signature
         self.pruned = pruned
         self.error = error
+        self.recorder = recorder
 
 
 class Explorer:
@@ -275,7 +288,31 @@ class Explorer:
             confirmed=(replayed.signature == outcome.signature),
             replay_signature=replayed.signature,
             prefix=tuple(prefix),
+            flight_path=self._dump_flight(outcome, len(result.violations)),
         ))
+
+    def _dump_flight(self, outcome, index):
+        """Ship the violating execution's black box, if configured.
+
+        The dump is the *explored* run's recorder (not the verification
+        replay's), so its tail shows the exact execution whose
+        signature was recorded — even when replay fails to confirm.
+        """
+        recorder_dir = self.config.recorder_dir
+        if recorder_dir is None or outcome.recorder is None:
+            return None
+        os.makedirs(recorder_dir, exist_ok=True)
+        path = os.path.join(
+            recorder_dir, "violation-%d.flight.jsonl" % index
+        )
+        outcome.recorder.dump(
+            path, reason="explorer_violation",
+            signature=[
+                [prop, None if zxid is None else list(zxid)]
+                for prop, zxid in outcome.signature
+            ],
+        )
+        return path
 
     def _note_progress(self, result, frontier):
         result.states_visited = len(self._visited)
@@ -409,7 +446,10 @@ class Explorer:
             for state in cluster.states().values()
         }
         signature = violation_signature(report, converged=len(states) == 1)
-        return _RunOutcome(chooser, schedule, signature=signature)
+        return _RunOutcome(
+            chooser, schedule, signature=signature,
+            recorder=cluster.recorder,
+        )
 
     def _step_options(self, cluster):
         """The fault menu at this decision point, gated by cluster state.

@@ -19,6 +19,14 @@ The measurement substrate for every layer of the reproduction:
 - :mod:`repro.obs.causality` — joins ``net.send``/``net.deliver``
   pairs by ``msg_id`` into a happens-before DAG and answers
   straggler / quorum-critical-follower questions.
+- :mod:`repro.obs.recorder` — :class:`FlightRecorder`, the always-on
+  bounded black box: per-node rings of recent events, dumped
+  atomically (with a ``recorder.dump`` marker) the moment a checker
+  violation, explorer violation, or health detector fires.
+- :mod:`repro.obs.export` — :func:`to_chrome_trace` /
+  :func:`dump_chrome_trace` map traces onto the Chrome trace-event
+  JSON that ui.perfetto.dev renders (per-node tracks, commit-path
+  slices, async wire/relay hops).
 - :mod:`repro.obs.series` — :class:`TimeSeries` ring buffers and the
   :class:`SeriesBank` registry: windowed per-node samples over virtual
   time, the substrate of the health layer.
@@ -45,6 +53,8 @@ from repro.obs.metrics import (
     MetricsRegistry,
     StreamingHistogram,
 )
+from repro.obs.export import dump_chrome_trace, to_chrome_trace
+from repro.obs.recorder import FlightRecorder
 from repro.obs.series import SeriesBank, TimeSeries
 from repro.obs.spans import (
     STAGE_KEYS,
@@ -80,6 +90,9 @@ __all__ = [
     "Tracer",
     "dump_jsonl",
     "load_jsonl",
+    "FlightRecorder",
+    "to_chrome_trace",
+    "dump_chrome_trace",
     "fault_events",
     "phase_spans",
     "render_summary",

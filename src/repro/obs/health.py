@@ -154,7 +154,7 @@ class HealthMonitor:
                  stall_ratio=4.0, stall_floor=0.005,
                  fire_after=2, clear_after=2,
                  slo_commit_p99=0.05, slo_commit_budget=0.10,
-                 slo_availability=0.99):
+                 slo_availability=0.99, recorder_dir=None):
         if window <= 0:
             raise ConfigError("window must be > 0: %r" % (window,))
         if fire_after < 1 or clear_after < 1:
@@ -170,6 +170,7 @@ class HealthMonitor:
         self.slo_commit = Slo("commit_p99", slo_commit_p99,
                               slo_commit_budget)
         self.slo_availability_target = slo_availability
+        self.recorder_dir = recorder_dir
         self.firings = []            # every firing ever, in onset order
         self.voters = None
         self.cluster = None
@@ -342,6 +343,7 @@ class HealthMonitor:
             }
             self._open["leader_unavailable"] = firing
             self.firings.append(firing)
+            self._on_firing(firing)
 
     def _leader_lost(self, t, reason):
         self._open_unavailable(t, reason)
@@ -356,8 +358,30 @@ class HealthMonitor:
             }
             self._open["recovery_dip"] = dip
             self.firings.append(dip)
+            self._on_firing(dip)
         self._leader = None
         self._propose_t.clear()
+
+    def _on_firing(self, firing):
+        """Ship the black box the instant a detector opens.
+
+        Only when monitoring live (``attach``) with ``recorder_dir``
+        set and the cluster carrying a flight recorder; one file per
+        (detector, node), overwritten — atomically — if the same
+        detector re-fires with more context.  Purely a side effect:
+        report contents and determinism are untouched.
+        """
+        if self.recorder_dir is None or self.cluster is None:
+            return
+        node = firing.get("node")
+        filename = "flight-%s%s.jsonl" % (
+            firing["detector"], "" if node is None else "-%s" % (node,)
+        )
+        self.cluster.dump_flight(
+            self.recorder_dir, reason="health_firing", filename=filename,
+            detector=firing["detector"], node=node,
+            onset=firing["onset"],
+        )
 
     def _set_leader(self, t, node, epoch):
         self._leader = node
@@ -464,6 +488,7 @@ class HealthMonitor:
                 firing.update(extra)
                 state["firing"] = firing
                 self.firings.append(firing)
+                self._on_firing(firing)
         else:
             state["bad"] = 0
             state["since"] = None

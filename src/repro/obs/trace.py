@@ -16,10 +16,30 @@ Two properties matter for a tracing layer that sits on hot paths:
       if tracer.active:
           tracer.emit("net.send", node=src, dst=dst, size=size)
 
+  ``active`` is a *call-site hint*, not a hard switch: only
+  high-frequency kinds (per-message ``net.*``, per-commit ``log.*`` /
+  ``leader.*`` / ``follower.*`` / ``peer.commit``) guard on it.  Rare
+  control-plane kinds (elections, sync phases, role transitions,
+  ``fault.*``) call :meth:`~Tracer.emit` unguarded — their fields cost
+  nothing at their frequency — so a tracer that reports ``active =
+  False`` still receives them.  The
+  :class:`~repro.obs.recorder.FlightRecorder` black box rides exactly
+  that seam.
+
 - **Per-kind filtering.**  A live tracer can enable or disable
   individual kinds (or kind prefixes such as ``"net."``), so a long
   soak can keep rare protocol transitions without drowning in
   per-message traffic.
+
+For campaign-scale runs there is a third lever, **deterministic
+sampling** (:meth:`Tracer.sample`): per-kind sample rates keyed on the
+event's correlation id (zxid, falling back to session then msg_id)
+through a fixed integer hash — no RNG draws, so the same schedule
+always keeps the same transactions and a sampled trace is
+bit-identical across replays.  Because the key is the correlation id,
+a kept transaction keeps *every* sampled event it produced: 1-in-N
+commit paths survive at full span fidelity instead of as random
+shreds.
 
 Live consumers (the :mod:`repro.obs.series` sampler, the
 :class:`~repro.obs.health.HealthMonitor`) subscribe with
@@ -99,6 +119,9 @@ class Tracer:
         self.events = []
         self._only = None if kinds is None else set(kinds)
         self._disabled = set()
+        self._enabled = set()
+        self._sample_rates = {}
+        self._decisions = {}
         self._observers = []
 
     # ------------------------------------------------------------------
@@ -135,25 +158,116 @@ class Tracer:
     # ------------------------------------------------------------------
 
     def enable(self, *kinds):
-        """Re-enable *kinds* (exact names or ``"prefix."`` patterns)."""
+        """Re-enable *kinds* (exact names or ``"prefix."`` patterns).
+
+        ``enable`` and ``disable`` are symmetric.  Each call first
+        retracts every earlier override *within its scope* (the exact
+        name, or everything under the prefix), then records its own
+        pattern; when the surviving patterns disagree about a kind the
+        **most specific** one wins — an exact name beats any prefix,
+        and a longer prefix beats a shorter one.  So overrides narrow
+        (``disable("net."); enable("net.send")`` keeps only sends) and
+        a later broad call wipes the slate (``disable("net.")`` again
+        silences sends too)::
+
+            tracer.disable("net.")          # no net traffic ...
+            tracer.enable("net.send")       # ... except sends
+            tracer.disable("net.")          # back to no net at all
+
+        With a ``kinds=`` whitelist, ``enable`` also extends the
+        whitelist so newly enabled kinds actually record.
+        """
         for kind in kinds:
-            self._disabled.discard(kind)
+            self._retract(kind)
+            self._enabled.add(kind)
             if self._only is not None:
                 self._only.add(kind)
+        self._decisions.clear()
         return self
 
     def disable(self, *kinds):
-        """Stop recording *kinds* (exact names or ``"prefix."``)."""
-        self._disabled.update(kinds)
+        """Stop recording *kinds* (exact names or ``"prefix."``).
+
+        Symmetric with :meth:`enable` — see its docstring for the
+        scope-retraction + most-specific-pattern-wins contract.
+        """
+        for kind in kinds:
+            self._retract(kind)
+            self._disabled.add(kind)
+        self._decisions.clear()
         return self
+
+    def _retract(self, pattern):
+        """Drop every override *pattern* subsumes (itself included)."""
+        self._enabled = {
+            p for p in self._enabled if not _pattern_matches(p, pattern)
+        }
+        self._disabled = {
+            p for p in self._disabled if not _pattern_matches(p, pattern)
+        }
 
     def enabled(self, kind):
         """True if events of *kind* are currently recorded."""
-        if self._disabled and _matches(kind, self._disabled):
-            return False
         if self._only is not None:
-            return _matches(kind, self._only)
-        return True
+            verdict = _matches(kind, self._only)
+        else:
+            verdict = True
+        best = -1
+        for pattern in self._disabled:
+            if _pattern_matches(kind, pattern) and len(pattern) > best:
+                best = len(pattern)
+                verdict = False
+        for pattern in self._enabled:
+            if _pattern_matches(kind, pattern) and len(pattern) > best:
+                best = len(pattern)
+                verdict = True
+        return verdict
+
+    # ------------------------------------------------------------------
+    # Deterministic sampling
+    # ------------------------------------------------------------------
+
+    def sample(self, rate, *kinds):
+        """Keep ~1-in-*rate* events of *kinds* (exact or ``"prefix."``).
+
+        Sampling is **deterministic**: the decision hashes the event's
+        correlation key — ``zxid`` if present, else ``session``, else
+        ``msg_id`` — through a fixed integer mix, so the same schedule
+        keeps the same transactions on every replay, bit-identically.
+        Keying on the correlation id means a kept transaction keeps
+        *all* its sampled events (full span fidelity); events carrying
+        no key are always kept, so rare cluster-level transitions
+        (elections, faults) survive any rate.
+
+        A ``rate`` of 1 (or less) clears sampling for those patterns.
+        When several patterns match a kind the most specific wins,
+        mirroring :meth:`enable`/:meth:`disable`.
+        """
+        for kind in kinds:
+            if rate is None or rate <= 1:
+                self._sample_rates.pop(kind, None)
+            else:
+                self._sample_rates[kind] = int(rate)
+        self._decisions.clear()
+        return self
+
+    def sample_rate(self, kind):
+        """The effective sample rate for *kind* (1 = keep everything)."""
+        rate = 1
+        best = -1
+        for pattern, value in self._sample_rates.items():
+            if _pattern_matches(kind, pattern) and len(pattern) > best:
+                best = len(pattern)
+                rate = value
+        return rate
+
+    def _decide(self, kind):
+        """Cached ``(record?, sample_rate)`` decision for *kind*."""
+        decision = self._decisions.get(kind)
+        if decision is None:
+            decision = (self.enabled(kind), self.sample_rate(kind))
+            self._decisions[kind] = decision
+        return decision
 
     # ------------------------------------------------------------------
     # Recording
@@ -161,9 +275,10 @@ class Tracer:
 
     def emit(self, kind, node=None, **fields):
         """Record one event of *kind* (dropped if the kind is disabled)."""
-        if self._disabled and _matches(kind, self._disabled):
+        keep, rate = self._decisions.get(kind) or self._decide(kind)
+        if not keep:
             return
-        if self._only is not None and not _matches(kind, self._only):
+        if rate > 1 and not _sample_keep(rate, fields):
             return
         event = TraceEvent(self._clock(), node, kind, fields)
         self.events.append(event)
@@ -220,6 +335,75 @@ def _matches(kind, patterns):
         if pattern.endswith(".") and kind.startswith(pattern):
             return True
     return False
+
+
+def _pattern_matches(kind, pattern):
+    """True if *kind* matches one pattern (exact, or ``"net."`` prefix)."""
+    if pattern == kind:
+        return True
+    return pattern.endswith(".") and kind.startswith(pattern)
+
+
+# FNV-1a over the bytes of each key part: stable across processes,
+# platforms, and Python versions (unlike str.__hash__), cheap, and
+# RNG-free so sampling never perturbs a seeded schedule.
+_FNV_OFFSET = 2166136261
+_FNV_PRIME = 16777619
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _sample_hash(key):
+    """Deterministic 32-bit hash of a correlation key.
+
+    Accepts ints, strings, and (nested) tuples/lists of those — which
+    covers zxids ``(epoch, counter)``, integer msg_ids, and string
+    session ids.  Integer parts fold 64 bits into one FNV multiply
+    step (the sample decision sits on the emit hot path; byte-walking
+    a counter costs more than the append it guards); strings hash
+    byte-wise.  The two overwhelmingly common key shapes — a bare int
+    (msg_id) and an ``(epoch, counter)`` int pair (zxid) — skip the
+    generic stack walk entirely; both branches compute the identical
+    fold the generic walk would.
+    """
+    if type(key) is int:
+        value = key & _MASK64
+        return ((_FNV_OFFSET ^ (value & _MASK32) ^ (value >> 32))
+                * _FNV_PRIME) & _MASK32
+    if (type(key) is tuple and len(key) == 2
+            and type(key[0]) is int and type(key[1]) is int):
+        value = key[0] & _MASK64
+        h = ((_FNV_OFFSET ^ (value & _MASK32) ^ (value >> 32))
+             * _FNV_PRIME) & _MASK32
+        value = key[1] & _MASK64
+        return ((h ^ (value & _MASK32) ^ (value >> 32))
+                * _FNV_PRIME) & _MASK32
+    h = _FNV_OFFSET
+    stack = [key]
+    while stack:
+        part = stack.pop()
+        if isinstance(part, (tuple, list)):
+            stack.extend(reversed(part))
+        elif isinstance(part, str):
+            for byte in part.encode("utf-8"):
+                h = ((h ^ byte) * _FNV_PRIME) & _MASK32
+        else:
+            value = int(part) & _MASK64
+            h = ((h ^ (value & _MASK32) ^ (value >> 32))
+                 * _FNV_PRIME) & _MASK32
+    return h
+
+
+def _sample_keep(rate, fields):
+    """Deterministic keep/drop for one event under sample *rate*."""
+    key = fields.get("zxid")
+    if key is None:
+        key = fields.get("session")
+        if key is None:
+            key = fields.get("msg_id")
+            if key is None:
+                return True
+    return _sample_hash(key) % rate == 0
 
 
 # ---------------------------------------------------------------------------

@@ -35,9 +35,33 @@ def test_suite_reports_every_hot_path(quick_metrics):
         "dissemination.chain.messages_per_s",
         "dissemination.tree.messages_per_s",
         "dissemination.ring.messages_per_s",
+        "tracing.off.ops_per_s",
+        "tracing.recorder.ops_per_s",
+        "tracing.recorder.relative_throughput",
+        "tracing.sampled.ops_per_s",
+        "tracing.sampled.relative_throughput",
+        "tracing.full.ops_per_s",
+        "tracing.full.relative_throughput",
     ):
         rate = quick_metrics[key]
         assert rate > 0 and math.isfinite(rate), key
+
+
+def test_tracing_probe_reports_the_gated_overhead(quick_metrics):
+    # The one-sided overhead metric the baseline gate pins to [0, 0.05]
+    # on full-size runs.  Quick mode only checks shape, not the bound:
+    # sub-second sections are far too noisy for the 5% claim.
+    overhead = quick_metrics["tracing.recorder.overhead"]
+    assert 0.0 <= overhead <= 1.0
+    assert overhead == max(
+        0.0, 1.0 - quick_metrics["tracing.recorder.relative_throughput"]
+    )
+    # Event-volume accounting: the control-posture black box rings a
+    # few dozen control-plane events; sampling cuts the full stream by
+    # roughly the sample rate while remaining non-empty.
+    assert 0 < quick_metrics["tracing.recorder.events"] \
+        < quick_metrics["tracing.sampled.events"] \
+        < quick_metrics["tracing.full.events"]
 
 
 def test_dissemination_probe_separates_topologies(quick_metrics):
@@ -65,6 +89,7 @@ def test_workload_shapes_are_deterministic(quick_metrics):
 def test_progress_callback_sees_each_probe(quick_metrics):
     assert _PROGRESS == [
         "kernel", "fabric", "checker", "explore", "dissemination",
+        "tracing",
     ]
 
 

@@ -154,3 +154,90 @@ def test_campaign_health_column(capsys):
                  "--steps", "3", "--health"]) == 0
     out = capsys.readouterr().out
     assert "health" in out
+
+
+def _run_trace(path, *extra):
+    return main(["trace", "--servers", "3", "--rate", "300",
+                 "--duration", "2", "-o", path] + list(extra))
+
+
+def test_trace_kinds_filter_restricts_the_capture(capsys, tmp_path):
+    import json
+
+    path = str(tmp_path / "trace.jsonl")
+    assert _run_trace(path, "--kinds", "leader.,election.start") == 0
+    capsys.readouterr()
+    kinds = set()
+    with open(path) as handle:
+        for line in handle:
+            kinds.add(json.loads(line)["kind"])
+    assert kinds, "filtered capture is empty"
+    for kind in kinds:
+        assert kind.startswith("leader.") or kind == "election.start", kind
+    assert not any(kind.startswith("net.") for kind in kinds)
+
+
+def test_trace_limit_keeps_only_the_tail(capsys, tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    assert _run_trace(path, "--limit", "25") == 0
+    capsys.readouterr()
+    with open(path) as handle:
+        assert sum(1 for _ in handle) == 25
+
+
+def test_trace_sample_is_deterministic_and_smaller(capsys, tmp_path):
+    full = tmp_path / "full.jsonl"
+    sampled_a = tmp_path / "a.jsonl"
+    sampled_b = tmp_path / "b.jsonl"
+    assert _run_trace(str(full), "--net") == 0
+    assert _run_trace(str(sampled_a), "--net", "--sample", "8") == 0
+    assert _run_trace(str(sampled_b), "--net", "--sample", "8") == 0
+    capsys.readouterr()
+    # Same seed, same rate: bit-identical artifact — and far smaller
+    # than the unsampled capture.
+    assert sampled_a.read_bytes() == sampled_b.read_bytes()
+    assert sampled_a.stat().st_size < full.stat().st_size / 2
+
+
+def test_trace_perfetto_export(capsys, tmp_path):
+    import json
+
+    trace = str(tmp_path / "trace.jsonl")
+    perfetto = tmp_path / "trace.perfetto.json"
+    assert _run_trace(trace, "--perfetto", str(perfetto)) == 0
+    assert "ui.perfetto.dev" in capsys.readouterr().out
+    exported = json.loads(perfetto.read_text())
+    assert exported["traceEvents"]
+    phases = {record["ph"] for record in exported["traceEvents"]}
+    assert "M" in phases and "X" in phases
+
+
+def test_trace_view_round_trips_a_capture(capsys, tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    assert _run_trace(path) == 0
+    capsys.readouterr()
+    assert main(["trace", "--view", path,
+                 "--kinds", "leader.,election.", "--limit", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "last" in out and "events:" in out
+    assert "net." not in out
+
+
+def test_trace_view_announces_a_flight_recorder_dump(capsys, tmp_path):
+    from repro.obs.recorder import FlightRecorder
+
+    recorder = FlightRecorder(capacity=8)
+    recorder.emit("election.start", node=1, round=1)
+    path = str(tmp_path / "flight.jsonl")
+    recorder.dump(path, reason="unit_test")
+    assert main(["trace", "--view", path]) == 0
+    out = capsys.readouterr().out
+    assert "flight recorder dump: reason=unit_test" in out
+    assert "capacity=8" in out
+    assert "election.start" in out
+
+
+def test_trace_view_missing_file_is_usage_error(capsys, tmp_path):
+    missing = str(tmp_path / "nope.jsonl")
+    assert main(["trace", "--view", missing]) == 2
+    assert "cannot read" in capsys.readouterr().err

@@ -1,0 +1,142 @@
+"""Perfetto/Chrome trace-event export: structure and determinism.
+
+``to_chrome_trace`` must emit a trace ui.perfetto.dev actually loads:
+metadata-first process/thread naming, nested ``X`` commit-path slices,
+balanced async ``b``/``e`` wire spans keyed by msg_id, microsecond
+timestamps — and byte-identical output for a deterministic input.
+"""
+
+import json
+
+from repro.harness import Cluster, ClusterConfig
+from repro.obs.export import dump_chrome_trace, to_chrome_trace
+from repro.obs.recorder import FlightRecorder
+from repro.obs.trace import TraceEvent, Tracer
+
+
+def _traced_events(n_voters=3, ops=6, seed=4, net=True):
+    tracer = Tracer()
+    if not net:
+        tracer.disable("net.")
+    cluster = Cluster(ClusterConfig(
+        n_voters=n_voters, seed=seed, tracer=tracer, recorder=False,
+    )).start()
+    cluster.run_until_stable(timeout=30.0)
+    for k in range(ops):
+        cluster.submit_and_wait(("put", "k%d" % k, k))
+    return tracer.events
+
+
+def test_chrome_trace_shape_and_metadata():
+    events = _traced_events()
+    trace = to_chrome_trace(events)
+    assert set(trace) == {"traceEvents", "displayTimeUnit"}
+    assert trace["displayTimeUnit"] == "ms"
+    records = trace["traceEvents"]
+    assert records, "empty export from a real run"
+    # Metadata records sort first and name one process per node plus
+    # the cluster process.
+    phases = [record["ph"] for record in records]
+    first_non_meta = phases.index(next(p for p in phases if p != "M"))
+    assert all(p == "M" for p in phases[:first_non_meta])
+    names = {
+        record["args"]["name"]
+        for record in records
+        if record["ph"] == "M" and record["name"] == "process_name"
+    }
+    assert names == {"cluster", "node 1", "node 2", "node 3"}
+    thread_names = {
+        record["args"]["name"]
+        for record in records
+        if record["ph"] == "M" and record["name"] == "thread_name"
+    }
+    assert {"events", "commit path", "net"} <= thread_names
+
+
+def test_chrome_trace_commit_path_slices():
+    records = to_chrome_trace(_traced_events())["traceEvents"]
+    slices = [record for record in records if record["ph"] == "X"]
+    assert slices
+    names = {record["name"].split(" ")[0] for record in slices}
+    assert {"txn", "fsync", "quorum-wait", "commit-gap"} <= names
+    for record in slices:
+        assert record["dur"] >= 0
+        assert record["ts"] >= 0
+    txn = next(r for r in slices if r["name"].startswith("txn "))
+    # Span kinds are consumed into slices, not duplicated as instants.
+    instant_names = {
+        record["name"] for record in records if record["ph"] == "i"
+    }
+    assert "leader.propose" not in instant_names
+    assert "leader.commit" not in instant_names
+    assert txn["args"]["zxid"][0] >= 1
+
+
+def test_chrome_trace_async_wire_spans_balance():
+    records = to_chrome_trace(_traced_events())["traceEvents"]
+    begins = [
+        record for record in records
+        if record["ph"] == "b" and record["cat"] == "net"
+    ]
+    ends = [
+        record for record in records
+        if record["ph"] == "e" and record["cat"] == "net"
+    ]
+    assert begins and ends
+    begin_ids = {record["id"] for record in begins}
+    # Every delivered message closes a span that was opened; sends
+    # without a matching end are in-flight/dropped, which is fine.
+    assert {record["id"] for record in ends} <= begin_ids
+    # The end record inherits the payload type name from its send.
+    by_id = {record["id"]: record for record in begins}
+    for record in ends:
+        assert record["name"] == by_id[record["id"]]["name"]
+
+
+def test_timestamps_are_microseconds():
+    events = [
+        TraceEvent(0.5, 0, "election.start", {"round": 1}),
+        TraceEvent(1.25, 0, "election.decided", {"leader": 0}),
+    ]
+    records = to_chrome_trace(events)["traceEvents"]
+    instants = [record for record in records if record["ph"] == "i"]
+    assert [record["ts"] for record in instants] == [500000, 1250000]
+
+
+def test_tuple_fields_become_json_safe_lists():
+    events = [TraceEvent(0.0, 0, "peer.epoch", {"zxid": (3, 7)})]
+    records = to_chrome_trace(events)["traceEvents"]
+    instant = next(record for record in records if record["ph"] == "i")
+    assert instant["args"]["zxid"] == [3, 7]
+    json.dumps(records)  # nothing unserialisable survives
+
+
+def test_flight_recorder_snapshot_exports():
+    # A black-box dump (control-plane events only, cluster-scoped
+    # marker included) must render too — that is the triage workflow.
+    recorder = FlightRecorder()
+    recorder.emit("election.start", node=0, round=1)
+    recorder.emit("fault.partition", groups=[[0], [1, 2]])
+    records = to_chrome_trace(recorder.events)["traceEvents"]
+    instants = {record["name"] for record in records
+                if record["ph"] == "i"}
+    assert instants == {"election.start", "fault.partition"}
+    # The node-less fault lands on the cluster process (pid 0).
+    fault = next(record for record in records
+                 if record["name"] == "fault.partition")
+    assert fault["pid"] == 0
+
+
+def test_export_accepts_a_tracer_and_is_deterministic(tmp_path):
+    events = _traced_events(ops=4)
+    tracer = Tracer()
+    tracer.events.extend(events)
+    assert to_chrome_trace(tracer) == to_chrome_trace(events)
+
+    first, second = tmp_path / "a.json", tmp_path / "b.json"
+    count_a = dump_chrome_trace(events, str(first))
+    count_b = dump_chrome_trace(events, str(second))
+    assert count_a == count_b > 0
+    assert first.read_bytes() == second.read_bytes()
+    loaded = json.loads(first.read_text())
+    assert len(loaded["traceEvents"]) == count_a
