@@ -21,7 +21,8 @@ Checks every line against the format in docs/OBSERVABILITY.md:
 - wire-level ``net.*`` kinds carry a positive integer ``msg_id`` so
   send/deliver/drop events pair up in the causality DAG;
 - node-scoped kinds (everything except the cluster-wide
-  ``fault.partition`` / ``fault.heal``) carry an integer ``node`` —
+  ``fault.partition`` / ``fault.heal`` / ``fault.partition_oneway`` /
+  ``fault.restore_links``) carry an integer ``node`` —
   an unattributed node-scoped event is useless to the health
   monitor's per-node detectors;
 - per-node timestamps are monotonic too: events attributed to one
@@ -51,6 +52,8 @@ KNOWN_KINDS = {
     "log.append", "log.durable", "log.flush",
     "fault.crash", "fault.recover", "fault.partition", "fault.heal",
     "fault.slow_disk", "fault.restore_disk",
+    "fault.partition_oneway", "fault.restore_links", "fault.clock_skew",
+    "snapshot.save", "compact.purge",
     "recorder.dump",
 }
 
@@ -58,12 +61,14 @@ KNOWN_KINDS = {
 # the flight-recorder dump marker.
 NODE_REQUIRED = KNOWN_KINDS - {
     "fault.partition", "fault.heal", "recorder.dump",
+    "fault.partition_oneway", "fault.restore_links",
 }
 
 # Commit-path kinds must carry a zxid so spans can correlate them.
 ZXID_REQUIRED = {
     "leader.propose", "leader.ack", "leader.quorum", "leader.commit",
     "follower.ack", "log.append", "log.durable", "peer.commit",
+    "snapshot.save", "compact.purge",
 }
 
 # Wire-level kinds must carry the message id that pairs send/deliver.

@@ -25,14 +25,18 @@ from repro.bench.runner import run_broadcast_bench
 from repro.checker import CheckerState, Trace, check_all
 from repro.client import Client
 from repro.harness import (
+    OPS_SCENARIOS,
     ActionSchedule,
     Cluster,
     ClusterConfig,
     FaultSchedule,
+    OpsScenarioResult,
     replay_schedule,
+    run_ops_scenario,
     shrink_schedule,
 )
 from repro.mc import ExplorationResult, ExplorerConfig, explore_schedules
+from repro.storage import RetentionPolicy
 from repro.zab.dissemination import (
     DISSEMINATION_TOPOLOGIES,
     DisseminationStrategy,
@@ -63,6 +67,10 @@ __all__ = [
     "ActionSchedule",
     "replay_schedule",
     "shrink_schedule",
+    "OPS_SCENARIOS",
+    "OpsScenarioResult",
+    "run_ops_scenario",
+    "RetentionPolicy",
     "explore_schedules",
     "ExplorerConfig",
     "ExplorationResult",

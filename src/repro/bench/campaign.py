@@ -49,7 +49,8 @@ class RunOutcome:
 def run_adversarial_campaign(seeds, n_voters=3, steps=10,
                              step_interval=0.5, op_interval=0.02,
                              leader_factory=None, with_health=False,
-                             dissemination="leader-direct"):
+                             dissemination="leader-direct",
+                             profile="default"):
     """Run one adversarial scenario per seed; returns [RunOutcome].
 
     With ``with_health=True`` every run is traced (protocol events
@@ -59,24 +60,36 @@ def run_adversarial_campaign(seeds, n_voters=3, steps=10,
     answer to "it didn't violate anything, but was it *healthy*?".
     ``dissemination`` runs the whole campaign under a non-default
     propagation topology (``repro.DISSEMINATION_TOPOLOGIES``).
+    ``profile="ops"`` swaps the crash/partition adversary for the
+    operational one (:meth:`ActionSchedule.generate_ops`): snapshots,
+    retention-driven compaction, one-way cuts, and clock skews join
+    the fault mix.
     """
     outcomes = []
     for seed in seeds:
         outcomes.append(
             _one_run(seed, n_voters, steps, step_interval, op_interval,
                      leader_factory, with_health=with_health,
-                     dissemination=dissemination)
+                     dissemination=dissemination, profile=profile)
         )
     return outcomes
 
 
 def _one_run(seed, n_voters, steps, step_interval, op_interval,
              leader_factory=None, with_health=False,
-             dissemination="leader-direct"):
-    schedule = ActionSchedule.generate(
-        seed, n_voters=n_voters, steps=steps,
-        step_interval=step_interval, op_interval=op_interval,
-    )
+             dissemination="leader-direct", profile="default"):
+    if profile == "ops":
+        schedule = ActionSchedule.generate_ops(
+            seed, n_voters=n_voters, steps=steps,
+            step_interval=step_interval, op_interval=op_interval,
+        )
+    elif profile == "default":
+        schedule = ActionSchedule.generate(
+            seed, n_voters=n_voters, steps=steps,
+            step_interval=step_interval, op_interval=op_interval,
+        )
+    else:
+        raise ValueError("unknown campaign profile: %r" % (profile,))
     tracer = None
     if with_health:
         from repro.obs.trace import Tracer

@@ -22,6 +22,7 @@ import sys
 
 from repro.bench import experiments
 from repro.bench.runner import run_broadcast_bench
+from repro.harness.opscenarios import OPS_SCENARIOS
 from repro.zab.dissemination import DISSEMINATION_TOPOLOGIES
 
 EXPERIMENTS = {
@@ -564,6 +565,7 @@ def cmd_explore(args):
         leader_factory=leader_factory,
         dissemination=args.dissemination,
         recorder_dir=out_dir,
+        ops_actions=args.ops_actions,
     )
 
     def progress(result):
@@ -634,10 +636,59 @@ def cmd_campaign(args):
     seeds = range(args.first_seed, args.first_seed + args.seeds)
     outcomes = run_adversarial_campaign(
         seeds, n_voters=args.servers, steps=args.steps,
-        with_health=args.health,
+        with_health=args.health, profile=args.profile,
     )
     print(render_campaign(outcomes))
     return 0 if all(outcome.passed for outcome in outcomes) else 1
+
+
+def cmd_ops(args):
+    import json
+
+    from repro.harness.opscenarios import run_ops_scenario
+    from repro.obs.health import render_health
+
+    generate = OPS_SCENARIOS[args.scenario]
+    schedule = generate(seed=args.seed, n_voters=args.servers)
+    if args.save_schedule:
+        schedule.save(args.save_schedule)
+        print("schedule: %s" % args.save_schedule)
+    result = run_ops_scenario(schedule, recorder_dir=args.recorder_dir)
+    replay = result.replay
+    print("scenario %s seed=%d servers=%d: %d actions fired, "
+          "%d deliveries, epochs %s"
+          % (args.scenario, args.seed, args.servers, len(replay.fired),
+             replay.deliveries, list(replay.epochs)))
+    print(render_health(result.monitor))
+    if replay.error is not None:
+        print("replay error: %s" % replay.error)
+    if replay.violations:
+        print("violations: %s" % ", ".join(replay.violations))
+    if not replay.converged:
+        print("replica states DIVERGED")
+    if result.lost:
+        print("committed-txn LOSS: %s" % result.lost[:10])
+    print("verdict: %s" % ("OK" if result.passed else "FAIL"))
+    if args.json:
+        report = result.monitor.report(params={
+            "scenario": args.scenario,
+            "seed": args.seed,
+            "servers": args.servers,
+        })
+        report["ops"] = {
+            "passed": result.passed,
+            "deliveries": replay.deliveries,
+            "violations": list(replay.violations),
+            "converged": replay.converged,
+            "lost": [[peer, list(zxid)] for peer, zxid in result.lost],
+            "actions_fired": len(replay.fired),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print()
+        print("report: %s" % args.json)
+    return 0 if result.passed else 1
 
 
 def cmd_health(args):
@@ -871,6 +922,10 @@ def build_parser():
     p_explore.add_argument("--interleave", action="store_true",
                            help="also branch over same-timestamp message "
                                 "delivery orderings (implies zero jitter)")
+    p_explore.add_argument("--ops-actions", action="store_true",
+                           help="add operator snapshot/compaction moves "
+                                "to the branching alphabet (widens state "
+                                "fingerprints to cover stable storage)")
     p_explore.add_argument("--buggy", default=None, metavar="NAME",
                            help="plant a seeded bug from "
                                 "repro.harness.buggy (e.g. quorum_skip)")
@@ -898,7 +953,33 @@ def build_parser():
                             help="also run each trace through the "
                                  "health monitor (adds a verdict "
                                  "column)")
+    p_campaign.add_argument("--profile", default="default",
+                            choices=["default", "ops"],
+                            help="adversary profile: 'ops' adds "
+                                 "snapshots, compaction, one-way cuts "
+                                 "and clock skew to the fault mix")
     p_campaign.set_defaults(fn=cmd_campaign)
+
+    p_ops = sub.add_parser(
+        "ops",
+        help="run one operational scenario (snapshots under load, "
+             "rolling restart, flapping partition, ...) with checker, "
+             "health, and loss-audit verdicts",
+    )
+    p_ops.add_argument("--scenario", default="rolling-restart",
+                       choices=sorted(OPS_SCENARIOS),
+                       help="scenario family (default rolling-restart)")
+    p_ops.add_argument("--servers", type=int, default=3)
+    p_ops.add_argument("--seed", type=int, default=0)
+    p_ops.add_argument("--save-schedule", default=None, metavar="PATH",
+                       help="also write the generated ActionSchedule "
+                            "JSON here (replayable via `repro health "
+                            "--schedule` or `repro shrink`)")
+    p_ops.add_argument("--recorder-dir", default=None, metavar="DIR",
+                       help="dump the flight recorder here on failure")
+    p_ops.add_argument("--json", default=None, metavar="PATH",
+                       help="write the machine-readable report here")
+    p_ops.set_defaults(fn=cmd_ops)
 
     p_health = sub.add_parser(
         "health",

@@ -3,6 +3,13 @@
 from repro.harness.cluster import Cluster
 from repro.harness.config import ClusterConfig
 from repro.harness.faults import FaultSchedule
+from repro.harness.opscenarios import (
+    OPS_SCENARIOS,
+    OpsScenarioResult,
+    committed_txn_loss,
+    run_ops_scenario,
+    stable_leader_id,
+)
 from repro.harness.replay import (
     ReplayResult,
     replay_schedule,
@@ -26,6 +33,11 @@ __all__ = [
     "ReplayResult",
     "replay_schedule",
     "violation_signature",
+    "OPS_SCENARIOS",
+    "OpsScenarioResult",
+    "committed_txn_loss",
+    "run_ops_scenario",
+    "stable_leader_id",
     "ShrinkResult",
     "ddmin",
     "make_reproducer",

@@ -20,6 +20,7 @@ Inject any of them through the ``leader_factory`` seam::
 """
 
 from repro.harness.schedule import ActionSchedule
+from repro.storage.snapshot import Snapshot
 from repro.zab.leader import LeaderContext
 from repro.zab.zxid import Zxid
 
@@ -133,17 +134,64 @@ class PositionSkipLeaderContext(LeaderContext):
         LeaderContext._commit(self, zxid, proposal)
 
 
+class SnapshotSkipLeaderContext(LeaderContext):
+    """A leader whose sync snapshots lie about their watermark.
+
+    The fuzzy-snapshot watermark bug: when a follower needs SNAP
+    synchronisation, the snapshot this leader ships is built one
+    transaction short of the committed horizon but *labeled* as
+    covering the full horizon.  The follower believes itself current
+    at the claimed zxid while its delivery position is one slot
+    behind, so every subsequent delivery lands one index off against
+    the rest of the ensemble (**total order**).  The state *content*
+    survives — fuzzy snapshots are deltas-idempotent by design — which
+    is exactly why a watermark lie is insidious: replicas agree on the
+    data while silently disagreeing on the order that produced it.
+    The bug only fires when a follower actually falls past the DIFF
+    window — a crash plus a log compaction while it is down is the
+    canonical trigger, which is why the explorer needs operator
+    actions (``ops_actions=True``) to rediscover it.
+    """
+
+    def _snapshot_provider(self):
+        horizon = self.committed_horizon()
+        if (
+            self._snapshot_cache is None
+            or self._snapshot_cache.last_zxid != horizon
+        ):
+            prev = None
+            for record in self.peer.storage.log.all_entries():
+                if record.zxid < horizon:
+                    prev = record.zxid
+                else:
+                    break
+            if prev is None:
+                # Cannot build a short state; stay honest (keeps the
+                # variant safe on schedules that never exercise it).
+                self._snapshot_cache = self.peer.build_snapshot(horizon)
+            else:
+                short = self.peer.build_snapshot(prev)
+                # BUG: relabel the short state as the full horizon.
+                self._snapshot_cache = Snapshot(
+                    horizon, short.state, short.size
+                )
+        return self._snapshot_cache
+
+
 class SeededBug:
     """One registry entry: the plant, its oracle, and its trigger."""
 
-    __slots__ = ("name", "factory", "expected", "description", "_actions")
+    __slots__ = ("name", "factory", "expected", "description", "_actions",
+                 "explorer_kwargs")
 
-    def __init__(self, name, factory, expected, description, actions=()):
+    def __init__(self, name, factory, expected, description, actions=(),
+                 explorer_kwargs=None):
         self.name = name
         self.factory = factory
         self.expected = frozenset(expected)
         self.description = description
         self._actions = tuple(actions)
+        self.explorer_kwargs = dict(explorer_kwargs or {})
 
     def canonical_schedule(self, seed=0, n_voters=3, op_interval=0.02):
         """A fresh copy of the pinned schedule that triggers this bug."""
@@ -197,6 +245,27 @@ SEEDED_BUGS = {
             expected={"agreement", "local_primary_order", "total_order"},
             description="the leader's delivery index jumps a slot, "
                         "shifting every later delivery off by one",
+        ),
+        SeededBug(
+            "snapshot_skip",
+            SnapshotSkipLeaderContext,
+            expected={"total_order"},
+            description="SNAP-sync snapshots claim a horizon one txn "
+                        "ahead of the state they carry; a compaction-"
+                        "forced SNAP shifts the follower's delivery "
+                        "order one slot against the ensemble",
+            # Crash a follower, snapshot under load, compact so DIFF
+            # becomes impossible, recover: the rejoin must SNAP-sync
+            # through the lying provider.
+            actions=[
+                (0.25, "crash_follower", None),
+                (0.75, "snapshot", None),
+                (1.0, "compact_log", 1),
+                (1.25, "recover_all", None),
+            ],
+            # Snapshot/compaction are operator moves; the explorer only
+            # offers them with ops actions enabled.
+            explorer_kwargs={"ops_actions": True},
         ),
     ]
 }

@@ -17,6 +17,7 @@ from repro.obs import NULL_TRACER
 from repro.obs.recorder import FlightRecorder
 from repro.sim import Simulator
 from repro.storage.disk import DiskModel
+from repro.storage.retention import RetentionPolicy
 from repro.zab.peer import PeerStorage, ZabPeer
 
 
@@ -310,6 +311,109 @@ class Cluster:
         self.tracer.emit(
             "fault.restore_disk", node=peer_id, fsync_latency=baseline,
         )
+
+    def partition_oneway(self, src, dst):
+        """Asymmetric partition: *src* can no longer reach *dst*.
+
+        The reverse direction keeps flowing — the classic half-open
+        link that group partitions (:meth:`partition`) cannot express.
+        Undo with :meth:`restore_links`; :meth:`heal` deliberately does
+        not touch per-link cuts.
+        """
+        self.tracer.emit("fault.partition_oneway", src=src, dst=dst)
+        self.network.partitions.cut_link(src, dst, symmetric=False)
+
+    def restore_links(self):
+        """Undo every per-link cut.  Trace-silent no-op when none exist.
+
+        Returns True when links were actually restored — the silence
+        otherwise keeps replays of schedules that never cut a link
+        byte-identical to before this method existed.
+        """
+        partitions = self.network.partitions
+        if not partitions.has_cut_links():
+            return False
+        self.tracer.emit(
+            "fault.restore_links", links=len(partitions.cut_links()),
+        )
+        partitions.restore_all_links()
+        return True
+
+    def set_clock_skew(self, peer_id, factor):
+        """Stretch (>1) or shrink (<1) one peer's election timers."""
+        if not factor > 0:
+            raise ConfigError("clock skew factor must be > 0, got %r"
+                              % (factor,))
+        self.peers[peer_id].clock_skew = float(factor)
+        self.tracer.emit(
+            "fault.clock_skew", node=peer_id, factor=float(factor),
+        )
+
+    def clear_clock_skews(self):
+        """Reset every skewed clock.  Trace-silent no-op when none are.
+
+        Returns True when any skew was actually cleared.
+        """
+        changed = False
+        for peer_id in sorted(self.peers):
+            peer = self.peers[peer_id]
+            if peer.clock_skew != 1.0:
+                peer.clock_skew = 1.0
+                self.tracer.emit(
+                    "fault.clock_skew", node=peer_id, factor=1.0,
+                )
+                changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    # Operator actions: snapshots and log compaction
+    # ------------------------------------------------------------------
+
+    def snapshot_now(self, peer_id=None):
+        """Take an operator fuzzy snapshot on one peer (or all).
+
+        Tolerant by design: crashed or still-syncing peers simply skip
+        (the shrinker drops schedule actions one at a time, so every
+        surviving action must stay applicable on its own).  Returns
+        ``{peer_id: Snapshot}`` for the peers that actually saved one.
+        """
+        targets = [peer_id] if peer_id is not None else sorted(self.peers)
+        taken = {}
+        for pid in targets:
+            snapshot = self.peers[pid].take_snapshot()
+            if snapshot is not None:
+                taken[pid] = snapshot
+        return taken
+
+    def compact_logs(self, retain_snapshots=2, peer_id=None):
+        """Run the retention policy over live peers' stable storage.
+
+        Keeps the newest *retain_snapshots* snapshots per peer and
+        purges each log through the oldest retained snapshot's zxid
+        (see :class:`repro.storage.retention.RetentionPolicy`).  Peers
+        with no snapshots are untouched; crashed peers are skipped —
+        an operator cannot compact a machine that is down.  Returns
+        ``{peer_id: CompactionReport}``.
+        """
+        policy = RetentionPolicy(retain_snapshots)
+        targets = [peer_id] if peer_id is not None else sorted(self.peers)
+        reports = {}
+        for pid in targets:
+            peer = self.peers[pid]
+            if peer.crashed:
+                continue
+            report = policy.apply(peer.storage)
+            if report.purged_to is not None:
+                # Unguarded control-plane event, like snapshot.save:
+                # compactions are rare and must reach the flight
+                # recorder even with tracing off.
+                self.tracer.emit(
+                    "compact.purge", node=pid,
+                    zxid=report.purged_to.as_tuple(),
+                    dropped_snapshots=len(report.dropped),
+                )
+            reports[pid] = report
+        return reports
 
     # ------------------------------------------------------------------
     # Verification

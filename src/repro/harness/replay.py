@@ -141,8 +141,12 @@ def replay_schedule(schedule, n_voters=None, seed=None, op_interval=None,
         if happened is not None:
             fired.append((cluster.sim.now, happened))
 
-    # Quiesce: undo every standing fault, re-stabilise, settle.
+    # Quiesce: undo every standing fault, re-stabilise, settle.  Link
+    # cuts and clock skews restore trace-silently when absent, so
+    # schedules predating those faults replay byte-identically.
     cluster.heal()
+    cluster.restore_links()
+    cluster.clear_clock_skews()
     for peer_id, peer in cluster.peers.items():
         if peer.crashed:
             cluster.recover(peer_id)

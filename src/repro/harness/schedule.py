@@ -14,23 +14,34 @@ failing campaign seeds replayable, serializable to JSON, shrinkable with
 
 Action kinds and their targets:
 
-================  =====================================================
-``crash``         target = peer id
-``recover``       target = peer id
-``crash_leader``  target = None (whoever leads when the action fires)
-``crash_follower`` target = None (first live non-leader voter)
-``recover_all``   target = None
-``partition``     target = list of groups (lists of peer ids)
-``heal``          target = None
-``submit``        target = number of writes to burst-submit
-``slow_disk``     target = peer id (gray failure: 20× fsync latency)
-``restore_disk``  target = peer id
-================  =====================================================
+==================== ===================================================
+``crash``            target = peer id
+``recover``          target = peer id
+``crash_leader``     target = None (whoever leads when the action fires)
+``crash_follower``   target = None (first live non-leader voter)
+``recover_all``      target = None
+``partition``        target = list of groups (lists of peer ids)
+``heal``             target = None
+``submit``           target = number of writes to burst-submit
+``slow_disk``        target = peer id (gray failure: 20× fsync latency)
+``restore_disk``     target = peer id
+``snapshot``         target = peer id, or None for every live peer
+``compact_log``      target = snapshots to retain (default 2)
+``partition_oneway`` target = ``[src, dst]`` (src can no longer reach dst)
+``restore_links``    target = None (undo every one-way cut)
+``flap``             target = ``{"victim": id, "flaps": n, "period": s,
+                     "oneway": bool}`` — partition/heal cycles run inline
+``clock_skew``       target = ``[peer id, factor]`` (election timers ×factor)
+==================== ===================================================
 
 ``slow_disk`` / ``restore_disk`` require a cluster built with
 ``disk="model"``; on clusters without per-peer disk models they are
 tolerated as no-ops, so shrunk or replayed schedules stay applicable
-everywhere.
+everywhere.  ``flap`` advances virtual time itself (each flap is a
+partition, a dwell of *period*, a heal, and another dwell); with
+``oneway`` it cuts the victim's outbound links instead of fully
+partitioning it, and its heal phase restores *all* one-way cuts —
+like ``heal``, it resets link state cluster-wide.
 """
 
 import json
@@ -42,6 +53,8 @@ KINDS = frozenset([
     "crash", "recover", "crash_leader", "crash_follower",
     "recover_all", "partition", "heal", "submit",
     "slow_disk", "restore_disk",
+    "snapshot", "compact_log", "partition_oneway", "restore_links",
+    "flap", "clock_skew",
 ])
 
 #: Multiplier ``slow_disk`` applies to the victim's fsync latency.
@@ -50,6 +63,11 @@ SLOW_DISK_FACTOR = 20.0
 #: Adversary stream label; shared with the legacy campaign so schedules
 #: generated from seed N replay the exact runs the campaign used to do.
 ADVERSARY_STREAM = "campaign-adversary"
+
+#: Operational adversary stream label.  Distinct from ADVERSARY_STREAM
+#: so :meth:`ActionSchedule.generate` keeps producing the exact decision
+#: sequences the campaign corpus has pinned since PR 2.
+OPS_ADVERSARY_STREAM = "campaign-ops-adversary"
 
 
 class Action:
@@ -64,6 +82,22 @@ class Action:
             target = [sorted(group) for group in (target or ())]
             if not target:
                 raise ConfigError("partition action needs groups")
+        elif kind == "partition_oneway":
+            if not isinstance(target, (list, tuple)) or len(target) != 2:
+                raise ConfigError("partition_oneway needs [src, dst]")
+            target = [int(target[0]), int(target[1])]
+        elif kind == "clock_skew":
+            if not isinstance(target, (list, tuple)) or len(target) != 2:
+                raise ConfigError("clock_skew needs [peer_id, factor]")
+            if not float(target[1]) > 0:
+                raise ConfigError("clock skew factor must be > 0")
+            target = [int(target[0]), float(target[1])]
+        elif kind == "flap":
+            if not isinstance(target, dict) or "victim" not in target:
+                raise ConfigError(
+                    'flap needs {"victim": peer_id, ...}'
+                )
+            target = dict(target)
         self.time = float(time)
         self.kind = kind
         self.target = target
@@ -77,7 +111,10 @@ class Action:
         )
 
     def __hash__(self):
-        return hash((self.time, self.kind, json.dumps(self.target)))
+        return hash((
+            self.time, self.kind,
+            json.dumps(self.target, sort_keys=True),
+        ))
 
     def __repr__(self):
         if self.target is None:
@@ -230,6 +267,69 @@ class ActionSchedule:
                 schedule.add(time, "heal")
         return schedule
 
+    @classmethod
+    def generate_ops(cls, seed, n_voters=3, steps=10, step_interval=0.5,
+                     op_interval=0.02, retain_snapshots=2):
+        """An operational adversary as a pure function of *seed*.
+
+        Mixes the operator's day-to-day moves — fuzzy snapshots, log
+        compaction, one-way link cuts, clock skew — in with crashes and
+        recoveries.  Draws from :data:`OPS_ADVERSARY_STREAM`, never the
+        legacy stream, so :meth:`generate` keeps reproducing the exact
+        campaign runs the corpus pins.  Same symbolic live/crashed
+        bookkeeping as :meth:`generate`; skew toggles between an
+        extreme factor and back to 1.0 per victim.
+        """
+        rng = SplitRandom(seed).stream(OPS_ADVERSARY_STREAM)
+        members = list(range(1, n_voters + 1))
+        crashed = set()
+        skewed = set()
+        max_down = (n_voters - 1) // 2
+        schedule = cls(meta={
+            "seed": seed,
+            "n_voters": n_voters,
+            "steps": steps,
+            "step_interval": step_interval,
+            "op_interval": op_interval,
+            "profile": "ops",
+            "retain_snapshots": retain_snapshots,
+        })
+        for step in range(steps):
+            time = (step + 1) * step_interval
+            crashed_list = [p for p in members if p in crashed]
+            live = [p for p in members if p not in crashed]
+            roll = rng.random()
+            if crashed_list and (roll < 0.2 or len(crashed_list) >= max_down):
+                victim = rng.choice(crashed_list)
+                crashed.discard(victim)
+                schedule.add(time, "recover", victim)
+            elif roll < 0.35:
+                victim = rng.choice(live)
+                crashed.add(victim)
+                schedule.add(time, "crash", victim)
+            elif roll < 0.5:
+                schedule.add(time, "snapshot")
+            elif roll < 0.6:
+                schedule.add(time, "compact_log", retain_snapshots)
+            elif roll < 0.7 and len(live) >= 2:
+                src = rng.choice(live)
+                dst = rng.choice([p for p in live if p != src])
+                schedule.add(time, "partition_oneway", [src, dst])
+            elif roll < 0.8:
+                schedule.add(time, "restore_links")
+            elif roll < 0.9:
+                victim = rng.choice(members)
+                if victim in skewed:
+                    skewed.discard(victim)
+                    schedule.add(time, "clock_skew", [victim, 1.0])
+                else:
+                    skewed.add(victim)
+                    factor = rng.choice([0.25, 4.0])
+                    schedule.add(time, "clock_skew", [victim, factor])
+            else:
+                schedule.add(time, "heal")
+        return schedule
+
 
 def apply_action(cluster, action):
     """Execute one :class:`Action` against a live cluster, now.
@@ -291,4 +391,56 @@ def apply_action(cluster, action):
                 except Exception:
                     break
             return "submit burst of %d" % (action.target or 1)
+    elif action.kind == "snapshot":
+        taken = cluster.snapshot_now(action.target)
+        if taken:
+            return "snapshot on peers %s" % sorted(taken)
+    elif action.kind == "compact_log":
+        retain = action.target if action.target is not None else 2
+        reports = cluster.compact_logs(retain_snapshots=retain)
+        changed = sorted(
+            pid for pid, report in reports.items() if report.changed
+        )
+        if changed:
+            return "compact logs (retain %d) on peers %s" % (
+                retain, changed,
+            )
+    elif action.kind == "partition_oneway":
+        src, dst = action.target
+        cluster.partition_oneway(src, dst)
+        return "cut link %d->%d" % (src, dst)
+    elif action.kind == "restore_links":
+        if cluster.restore_links():
+            return "restore cut links"
+    elif action.kind == "clock_skew":
+        peer_id, factor = action.target
+        cluster.set_clock_skew(peer_id, factor)
+        return "clock skew %.2fx on peer %d" % (factor, peer_id)
+    elif action.kind == "flap":
+        spec = action.target
+        victim = spec["victim"]
+        if victim not in cluster.peers:
+            return None
+        flaps = int(spec.get("flaps", 3))
+        period = float(spec.get("period", 0.4))
+        oneway = bool(spec.get("oneway", False))
+        others = sorted(pid for pid in cluster.peers if pid != victim)
+        # The flap cycles run inline — each is partition, dwell, heal,
+        # dwell — so a flap is one schedule action the shrinker can
+        # drop atomically, and no timers outlive the action.
+        for _ in range(flaps):
+            if oneway:
+                for other in others:
+                    cluster.partition_oneway(victim, other)
+            else:
+                cluster.partition({victim}, set(others))
+            cluster.run(period)
+            if oneway:
+                cluster.restore_links()
+            else:
+                cluster.heal()
+            cluster.run(period)
+        return "flap %s partition on peer %d x%d" % (
+            "one-way" if oneway else "full", victim, flaps,
+        )
     return None

@@ -79,13 +79,22 @@ class ExplorerConfig:
         recent events — as ``violation-<n>.flight.jsonl`` next to the
         violation record (``None`` disables dumping; the recorder
         itself always rides along).
+    ops_actions
+        Also branch over operator actions — ``snapshot`` (when the
+        cluster is serving) and ``compact_log`` with retain=1 (once any
+        live peer holds a snapshot) — so the DFS interleaves fuzzy
+        snapshots and log compaction with commits and crashes.  The
+        revisit fingerprint widens to cover per-peer snapshot/purge
+        state; off (the default) both menu and fingerprint are exactly
+        the legacy ones.
     """
 
     def __init__(self, peers=3, depth=8, seed=0, step_interval=0.25,
                  op_interval=0.02, settle=2.0, timeout=60.0,
                  max_schedules=256, max_states=4096, max_violations=1,
                  interleave=False, jitter=None, leader_factory=None,
-                 dissemination="leader-direct", recorder_dir=None):
+                 dissemination="leader-direct", recorder_dir=None,
+                 ops_actions=False):
         self.peers = peers
         self.depth = depth
         self.seed = seed
@@ -101,6 +110,7 @@ class ExplorerConfig:
         self.leader_factory = leader_factory
         self.dissemination = dissemination
         self.recorder_dir = recorder_dir
+        self.ops_actions = ops_actions
 
     def net_config(self):
         """The NetworkConfig override, or None for the stock fabric."""
@@ -415,6 +425,8 @@ class Explorer:
         # Quiesce exactly like replay_schedule: undo standing faults,
         # re-stabilise, settle, then judge the whole history.
         cluster.heal()
+        cluster.restore_links()
+        cluster.clear_clock_skews()
         for peer_id, peer in cluster.peers.items():
             if peer.crashed:
                 cluster.recover(peer_id)
@@ -481,6 +493,18 @@ class Explorer:
             options.append(("heal", None))
         if down:
             options.append(("recover_all", None))
+        if config.ops_actions:
+            # Operator moves: snapshot whenever the cluster is serving,
+            # compact (retain=1, the most aggressive legal purge) once
+            # anything exists to compact.  Both gates read only
+            # deterministic cluster state, like the fault gates above.
+            if leader is not None:
+                options.append(("snapshot", None))
+            if any(
+                not peer.crashed and len(peer.storage.snapshots)
+                for peer in peers.values()
+            ):
+                options.append(("compact_log", 1))
         options.append(NOOP)
         return options
 
@@ -494,7 +518,9 @@ class Explorer:
         positions, so two "equal" states can differ microscopically in
         future message jitter.  See docs/TESTING.md.)
         """
-        fingerprint = cluster_fingerprint(cluster)
+        fingerprint = cluster_fingerprint(
+            cluster, storage_state=self.config.ops_actions
+        )
         seen_at = self._visited.get(fingerprint)
         if seen_at is not None and seen_at <= step:
             return True

@@ -22,10 +22,18 @@ def _zxid_tuple(zxid):
     return as_tuple() if as_tuple is not None else None
 
 
-def peer_fingerprint(peer):
-    """The abstract-state tuple of one peer."""
+def peer_fingerprint(peer, storage_state=False):
+    """The abstract-state tuple of one peer.
+
+    With *storage_state* the tuple widens to cover snapshot/purge
+    state — required when the explorer branches over ``snapshot`` /
+    ``compact_log`` operator actions, whose only effect is on stable
+    storage and would otherwise be invisible to revisit pruning (the
+    post-action state would alias the pre-action state and the branch
+    would be pruned unexplored).
+    """
     storage = peer.storage
-    return (
+    base = (
         peer.peer_id,
         peer.crashed,
         peer.state,
@@ -34,6 +42,14 @@ def peer_fingerprint(peer):
         peer.position,
         _zxid_tuple(peer.last_committed),
         tuple(_zxid_tuple(record.zxid) for record in storage.log.all_entries()),
+    )
+    if not storage_state:
+        return base
+    latest = storage.snapshots.latest()
+    return base + (
+        len(storage.snapshots),
+        _zxid_tuple(latest.last_zxid) if latest is not None else None,
+        _zxid_tuple(storage.log.purged_through()),
     )
 
 
@@ -55,7 +71,7 @@ def inflight_fingerprint(cluster):
     return tuple(messages)
 
 
-def cluster_fingerprint(cluster):
+def cluster_fingerprint(cluster, storage_state=False):
     """A compact stable hash of the cluster's abstract state.
 
     Stable across runs and processes (sha256 of a repr, not ``hash()``,
@@ -64,7 +80,7 @@ def cluster_fingerprint(cluster):
     """
     state = (
         tuple(
-            peer_fingerprint(peer)
+            peer_fingerprint(peer, storage_state=storage_state)
             for _, peer in sorted(cluster.peers.items())
         ),
         inflight_fingerprint(cluster),

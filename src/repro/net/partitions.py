@@ -48,6 +48,14 @@ class PartitionManager:
         """Undo every :meth:`cut_link`."""
         self._cut_links.clear()
 
+    def has_cut_links(self):
+        """True if any per-link cut is in effect."""
+        return bool(self._cut_links)
+
+    def cut_links(self):
+        """The severed (src, dst) directed pairs, sorted."""
+        return sorted(self._cut_links)
+
     def connected(self, src, dst):
         """True if a message from *src* can currently reach *dst*."""
         if (src, dst) in self._cut_links:

@@ -17,13 +17,21 @@ modelled by :class:`DiskModel` so the benchmarks can reproduce the paper's
 
 from repro.storage.disk import DiskModel, NullDisk
 from repro.storage.epochstore import EpochStore
+from repro.storage.retention import (
+    CompactionReport,
+    RetentionPlan,
+    RetentionPolicy,
+)
 from repro.storage.snapshot import Snapshot, SnapshotStore
 from repro.storage.txnlog import TxnLog
 
 __all__ = [
+    "CompactionReport",
     "DiskModel",
     "NullDisk",
     "EpochStore",
+    "RetentionPlan",
+    "RetentionPolicy",
     "Snapshot",
     "SnapshotStore",
     "TxnLog",

@@ -164,6 +164,14 @@ class FileSnapshotStore(SnapshotStore):
         for name in names[: max(0, len(names) - self._retain)]:
             os.unlink(os.path.join(self._directory, name))
 
+    def prune(self, keep):
+        dropped = SnapshotStore.prune(self, keep)
+        if dropped:
+            names = self._snapshot_names()
+            for name in names[: max(0, len(names) - keep)]:
+                os.unlink(os.path.join(self._directory, name))
+        return dropped
+
     def restore_from_files(self):
         """Re-populate the in-memory list from the snapshot files."""
         names = self._snapshot_names()

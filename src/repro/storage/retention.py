@@ -1,0 +1,112 @@
+"""Snapshot/log retention policy (ZooKeeper autopurge semantics).
+
+A running peer accumulates snapshots and log records without bound;
+production ZooKeeper deployments run an *autopurge* pass that keeps the
+newest N snapshots and deletes logs no retained snapshot needs.  This
+module is that pass for the simulated cluster: a
+:class:`RetentionPolicy` computes a :class:`RetentionPlan` against a
+:class:`~repro.storage.snapshot.SnapshotStore` and applies it to a
+peer's stable storage.
+
+The invariant the policy preserves — and the hypothesis suite in
+``tests/properties/test_retention_properties.py`` pins — is that after
+any sequence of snapshot/compact actions at least one *recoverable
+pair* survives: a snapshot plus the unbroken log suffix after its zxid.
+Two rules deliver it:
+
+- at least one snapshot is always retained (``retain_snapshots >= 1``);
+- the log is purged only **through the oldest retained snapshot's
+  zxid**, so every retained snapshot keeps its full suffix, and
+  recovery (``snapshot + entries_after``) reconstructs the same state
+  as replaying the uncompacted log.
+
+``TxnLog.purge_through`` additionally clamps the watermark to the
+durable tail, so a compaction racing in-flight appends can never drop
+or disown a record that has not hit the disk.
+"""
+
+
+class RetentionPlan:
+    """What one compaction pass will do, computed before mutating."""
+
+    __slots__ = ("retain_snapshots", "keep", "drop", "purge_zxid")
+
+    def __init__(self, retain_snapshots, keep, drop, purge_zxid):
+        self.retain_snapshots = retain_snapshots
+        self.keep = keep            # snapshots that survive, oldest first
+        self.drop = drop            # snapshots to delete, oldest first
+        self.purge_zxid = purge_zxid  # purge logs through here (or None)
+
+    def __repr__(self):
+        return "<RetentionPlan keep=%d drop=%d purge_through=%r>" % (
+            len(self.keep), len(self.drop), self.purge_zxid,
+        )
+
+
+class CompactionReport:
+    """What one compaction pass actually did."""
+
+    __slots__ = ("dropped", "purge_zxid", "purged_to")
+
+    def __init__(self, dropped, purge_zxid, purged_to):
+        self.dropped = dropped        # snapshots deleted
+        self.purge_zxid = purge_zxid  # watermark the plan asked for
+        self.purged_to = purged_to    # new watermark if it advanced, else None
+
+    @property
+    def changed(self):
+        return bool(self.dropped) or self.purged_to is not None
+
+    def __repr__(self):
+        return "<CompactionReport dropped=%d purged_to=%r>" % (
+            len(self.dropped), self.purged_to,
+        )
+
+
+class RetentionPolicy:
+    """Keep the newest N snapshots; purge logs no retained snapshot needs.
+
+    Parameters
+    ----------
+    retain_snapshots:
+        How many of the newest snapshots to keep.  Must be >= 1 — a
+        peer that deleted its last snapshot after purging logs would
+        have nothing to recover from.
+    """
+
+    __slots__ = ("retain_snapshots",)
+
+    def __init__(self, retain_snapshots=2):
+        if retain_snapshots < 1:
+            raise ValueError("must retain at least one snapshot")
+        self.retain_snapshots = retain_snapshots
+
+    def plan(self, snapshots):
+        """Compute the pass against a SnapshotStore without mutating it."""
+        snaps = snapshots.all()
+        cut = max(0, len(snaps) - self.retain_snapshots)
+        keep, drop = snaps[cut:], snaps[:cut]
+        purge_zxid = keep[0].last_zxid if keep else None
+        return RetentionPlan(self.retain_snapshots, keep, drop, purge_zxid)
+
+    def apply(self, storage):
+        """Apply the policy to one peer's stable storage.
+
+        *storage* is anything with ``.snapshots`` (a SnapshotStore) and
+        ``.log`` (a TxnLog) — :class:`repro.zab.peer.PeerStorage` in
+        practice.  Returns a :class:`CompactionReport`; with no
+        snapshots on disk the pass is a no-op (never purge a log you
+        cannot recover past).
+        """
+        plan = self.plan(storage.snapshots)
+        dropped = []
+        if plan.drop:
+            dropped = storage.snapshots.prune(self.retain_snapshots)
+        purged_to = None
+        if plan.purge_zxid is not None:
+            before = storage.log.purged_through()
+            storage.log.purge_through(plan.purge_zxid)
+            after = storage.log.purged_through()
+            if after != before:
+                purged_to = after
+        return CompactionReport(dropped, plan.purge_zxid, purged_to)

@@ -47,6 +47,26 @@ class SnapshotStore:
         self.saves += 1
         return snapshot
 
+    def all(self):
+        """Every retained snapshot, oldest first."""
+        return list(self._snapshots)
+
+    def prune(self, keep):
+        """Drop all but the newest *keep* snapshots.
+
+        Returns the dropped snapshots, oldest first.  This is the seam
+        the retention policy (:mod:`repro.storage.retention`) drives;
+        ``save`` already trims to the store's own ``retain`` bound, so
+        pruning only ever tightens further.
+        """
+        if keep < 1:
+            raise ValueError("must keep at least one snapshot")
+        cut = max(0, len(self._snapshots) - keep)
+        dropped = self._snapshots[:cut]
+        if cut:
+            del self._snapshots[:cut]
+        return dropped
+
     def latest(self):
         """The most recent snapshot, or None."""
         if not self._snapshots:

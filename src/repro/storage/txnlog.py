@@ -258,7 +258,23 @@ class TxnLog:
         return dropped
 
     def purge_through(self, zxid):
-        """Drop records with zxid <= *zxid* (they live in a snapshot now)."""
+        """Drop records with zxid <= *zxid* (they live in a snapshot now).
+
+        The purge watermark is clamped to the durable tail.  A fuzzy
+        snapshot can reflect transactions whose own log records are
+        still in the flush pipeline — the leader may commit on a
+        follower-only quorum before its local fsync lands — and
+        advancing ``purged_through`` past what the disk has actually
+        accepted would make ``last_durable()`` claim durability that
+        never happened.  If nothing is durable yet, the purge is a
+        no-op: pending and in-flight records are never dropped and
+        cannot justify a watermark.
+        """
+        if not self._records:
+            return
+        tail = self._zxids[-1]
+        if zxid > tail:
+            zxid = tail
         index = bisect.bisect_right(self._zxids, zxid)
         del self._records[:index]
         del self._zxids[:index]

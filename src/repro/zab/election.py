@@ -100,7 +100,9 @@ class FastLeaderElection:
                 self._broadcast()
                 self._arm_resend()
 
-        self._resend_timer = self.peer.set_timer(interval + jitter, resend)
+        self._resend_timer = self.peer.election_timer(
+            interval + jitter, resend
+        )
 
     # ------------------------------------------------------------------
     # Notification handling
@@ -212,7 +214,7 @@ class FastLeaderElection:
             ):
                 self._decide(self.vote[2])
 
-        self._finalize_timer = self.peer.set_timer(
+        self._finalize_timer = self.peer.election_timer(
             self.peer.config.election_finalize_wait, finalize
         )
 

@@ -110,6 +110,7 @@ class ZabPeer(Process):
         self.leader_factory = leader_factory or LeaderContext
         self.is_observer = peer_id in config.observers
         self.rng = sim.random.stream("peer-%d" % peer_id)
+        self.clock_skew = 1.0        # multiplier on election timers
         self.election = FastLeaderElection(self)
 
         self.state = None            # not started yet
@@ -162,6 +163,17 @@ class ZabPeer(Process):
 
     def on_recover(self):
         self.start()
+
+    def election_timer(self, delay, fn):
+        """``set_timer`` for election machinery, scaled by clock skew.
+
+        A skewed node's election timeouts stretch (skew > 1) or shrink
+        (skew < 1) relative to its peers — the classic misconfigured-
+        clock scenario.  The default skew of 1.0 multiplies exactly in
+        IEEE floats, so unskewed runs stay bit-identical to before the
+        knob existed.
+        """
+        return self.set_timer(delay * self.clock_skew, fn)
 
     # ------------------------------------------------------------------
     # Role transitions
@@ -451,13 +463,40 @@ class ZabPeer(Process):
         due = self.position - self._last_snapshot_position
         if due < self.config.snapshot_every:
             return
+        self._snapshot(purge=self.config.purge_logs_on_snapshot)
+
+    def take_snapshot(self):
+        """Operator-initiated fuzzy snapshot (the ``snapshot`` action).
+
+        Serialises the application state at the current delivery
+        frontier and saves it.  Unlike the periodic path this never
+        purges the log — compaction is a separate, explicit
+        ``compact_log`` action driven by the retention policy
+        (:mod:`repro.storage.retention`).  Returns the saved
+        :class:`~repro.storage.snapshot.Snapshot`, or None when there
+        is nothing to snapshot (crashed, still syncing, or nothing
+        delivered yet).
+        """
+        if self.crashed or self.sm is None or self.last_committed is None:
+            return None
+        return self._snapshot(purge=False)
+
+    def _snapshot(self, purge):
         blob, nbytes = self.sm.serialize()
-        self.storage.snapshots.save(
+        snapshot = self.storage.snapshots.save(
             self.last_committed, (blob, self.position), nbytes
         )
         self._last_snapshot_position = self.position
-        if self.config.purge_logs_on_snapshot:
+        # Unguarded: snapshots are rare control-plane events that must
+        # land in the flight recorder even with tracing off.
+        self.tracer.emit(
+            "snapshot.save", node=self.peer_id,
+            zxid=self.last_committed.as_tuple(),
+            position=self.position, size=nbytes,
+        )
+        if purge:
             self.storage.log.purge_through(self.last_committed)
+        return snapshot
 
     # ------------------------------------------------------------------
     # State (re)construction

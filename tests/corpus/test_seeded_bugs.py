@@ -20,6 +20,7 @@ import pytest
 
 from repro.harness import buggy, replay_schedule
 from repro.harness.buggy import SEEDED_BUGS
+from repro.harness.shrink import shrink_schedule
 from repro.mc import explore_schedules
 from repro.zab.leader import LeaderContext
 
@@ -85,7 +86,8 @@ def test_every_buggy_variant_is_registered():
 def test_explorer_finds_each_seeded_bug_within_budget(name):
     bug = SEEDED_BUGS[name]
     result = explore_schedules(
-        peers=3, depth=8, leader_factory=bug.factory, max_violations=1
+        peers=3, depth=8, leader_factory=bug.factory, max_violations=1,
+        **bug.explorer_kwargs
     )
     assert result.violations, "explorer never tripped %s" % name
     violation = result.violations[0]
@@ -96,3 +98,19 @@ def test_explorer_finds_each_seeded_bug_within_budget(name):
         "quorum_skip only surfaces under faults; an empty schedule "
         "means the explorer found something else entirely"
     )
+
+
+@pytest.mark.explore
+def test_snapshot_skip_shrinks_to_minimal_trigger():
+    # The canonical schedule carries a recover_all that the quiesce
+    # phase makes redundant; ddmin must discover that and keep only
+    # the essential crash -> snapshot -> compact chain.
+    bug = SEEDED_BUGS["snapshot_skip"]
+    result = shrink_schedule(
+        bug.canonical_schedule(), leader_factory=bug.factory
+    )
+    kinds = [action.kind for action in result.schedule]
+    assert len(kinds) <= 3, "expected ddmin to drop recover_all: %s" % kinds
+    assert set(kinds) == {"crash_follower", "snapshot", "compact_log"}
+    violated = {prop for prop, _zxid in result.signature}
+    assert violated == set(bug.expected)

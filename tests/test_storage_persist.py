@@ -154,3 +154,67 @@ def test_cluster_peer_recovers_from_files_alone(tmp_path):
     cluster.run(1.0)
     assert cluster.peers[1].sm.read(("get", "k14")) == 14
     cluster.assert_properties()
+
+
+def test_snapshot_purge_double_reload_with_inflight_txns(tmp_path):
+    """Retention under live load survives two consecutive power cycles.
+
+    A file-backed peer snapshots and compacts while client txns are
+    still in flight, crashes, is rebuilt purely from disk, power-cycles
+    a second time, and must rejoin from the snapshot plus the compacted
+    log suffix alone — the double-reload path that exposed the purge
+    watermark advancing past the durable tail.
+    """
+    cluster = Cluster(3, seed=161)
+    directory = StorageDirectory(str(tmp_path), 1)
+    file_storage = PeerStorage(**directory.create())
+    cluster.storages[1] = file_storage
+    cluster.peers[1] = ZabPeer(
+        cluster.sim, cluster.network, 1, cluster.config,
+        app_factory=cluster.peers[1].app_factory,
+        storage=file_storage, trace=cluster.trace,
+    )
+    cluster.start()
+    cluster.run_until_stable(timeout=30)
+    for i in range(8):
+        cluster.submit_and_wait(("put", "k%d" % i, i))
+
+    # Snapshot + compact with more txns immediately behind them.
+    cluster.snapshot_now()
+    leader = cluster.leader()
+    for i in range(8, 12):
+        leader.propose_op(("put", "k%d" % i, i))
+    reports = cluster.compact_logs(retain_snapshots=1)
+    cluster.run(1.0)
+    assert reports[1].changed
+
+    # The persisted boundary never claims more than the durable tail.
+    boundary = file_storage.log.purged_through()
+    assert boundary is not None
+    snap = file_storage.snapshots.latest()
+    assert snap is not None and boundary <= snap.last_zxid
+
+    cluster.crash(1)
+    for i in range(12, 16):
+        cluster.submit_and_wait(("put", "k%d" % i, i))
+
+    # Power cycle twice: each reload starts from files alone.
+    first = PeerStorage(**directory.reload())
+    assert first.log.purged_through() == boundary
+    assert len(first.snapshots) == 1
+    second = PeerStorage(**directory.reload())
+    assert second.log.purged_through() == boundary
+    durable = second.log.last_durable()
+    assert durable is not None and durable >= boundary
+
+    cluster.peers[1].storage = second
+    cluster.recover(1)
+    cluster.run_until_stable(timeout=30)
+    cluster.run(1.0)
+    assert cluster.peers[1].sm.read(("get", "k15")) == 15
+    states = set(
+        tuple(sorted(state.items()))
+        for state in cluster.states().values()
+    )
+    assert len(states) == 1
+    cluster.assert_properties()

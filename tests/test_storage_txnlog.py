@@ -175,3 +175,51 @@ def test_replace_with_adopts_foreign_history():
     log.replace_with(other.all_entries())
     assert log.last_durable() == z(3, 4)
     assert len(log) == 4
+
+
+def test_purge_beyond_durable_tail_clamps_watermark():
+    # The zxid-watermark bug: purging "through" a zxid the log never
+    # made durable must not advance the purge boundary past the durable
+    # tail — last_durable() falls back to the boundary when the log is
+    # empty, so an over-advanced watermark fakes durability for records
+    # that were never fsynced.
+    log = filled_log(3)
+    log.purge_through(z(1, 9))
+    assert len(log) == 0
+    assert log.purged_through() == z(1, 3)
+    assert log.last_durable() == z(1, 3)
+
+
+def test_purge_with_inflight_appends_keeps_watermark_at_durable(
+):
+    # A snapshot taken at the commit frontier can race appends still
+    # sitting in the disk queue; the purge must clamp to what is
+    # actually durable and leave the in-flight suffix alone.
+    sim = Simulator()
+    disk = DiskModel(sim, fsync_latency=0.05, bandwidth_bps=1e9)
+    log = TxnLog(disk)
+    log.append(z(1, 1), "durable")
+    sim.run()
+    log.append(z(1, 2), "inflight")
+    log.append(z(1, 3), "pending")
+    log.purge_through(z(1, 3))  # frontier claims 3; only 1 is durable
+    assert log.purged_through() == z(1, 1)
+    sim.run()
+    assert log.last_durable() == z(1, 3)
+    assert [r.txn for r in log.all_entries()] == ["inflight", "pending"]
+
+
+def test_purge_on_empty_log_is_a_noop():
+    log = TxnLog()
+    log.purge_through(z(1, 5))
+    assert log.purged_through() is None
+    assert log.last_durable() is None
+
+
+def test_purge_never_regresses_watermark():
+    log = filled_log(5)
+    log.purge_through(z(1, 4))
+    log.append(z(1, 6), "later")
+    log.purge_through(z(1, 2))  # stale retention plan replayed late
+    assert log.purged_through() == z(1, 4)
+    assert log.first_durable() == z(1, 5)
