@@ -21,7 +21,9 @@ table and figure.
 """
 
 from repro.bench.micro import run_micro_suite
+from repro.bench.parallel import parallel_explore, run_parallel_campaign
 from repro.bench.runner import run_broadcast_bench
+from repro.bench.workloads import AggregateOpenLoopDriver, SessionClass
 from repro.checker import CheckerState, Trace, check_all
 from repro.client import Client
 from repro.harness import (
@@ -76,6 +78,10 @@ __all__ = [
     "ExplorationResult",
     "run_broadcast_bench",
     "run_micro_suite",
+    "run_parallel_campaign",
+    "parallel_explore",
+    "SessionClass",
+    "AggregateOpenLoopDriver",
     "check_all",
     "CheckerState",
     "Trace",

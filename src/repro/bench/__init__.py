@@ -5,11 +5,21 @@ transactions per simulated second, latency is submit-to-commit in
 simulated seconds.  Absolute values depend on the network/disk models
 configured; the experiments in :mod:`repro.bench.experiments` are about
 *shapes* (scaling curves, knees, dips), per EXPERIMENTS.md.
+
+The exceptions are :mod:`repro.bench.micro` (wall-clock rates of the
+simulation machinery itself) and :mod:`repro.bench.parallel` (wall-clock
+scale-out of campaigns and exploration across processes).
 """
 
 from repro.bench.metrics import LatencyRecorder, Timeline, percentile
+from repro.bench.parallel import parallel_explore, run_parallel_campaign
 from repro.bench.runner import BenchResult, run_broadcast_bench
-from repro.bench.workloads import ClosedLoopDriver, OpenLoopDriver
+from repro.bench.workloads import (
+    AggregateOpenLoopDriver,
+    ClosedLoopDriver,
+    OpenLoopDriver,
+    SessionClass,
+)
 
 __all__ = [
     "LatencyRecorder",
@@ -17,6 +27,10 @@ __all__ = [
     "percentile",
     "BenchResult",
     "run_broadcast_bench",
+    "run_parallel_campaign",
+    "parallel_explore",
     "ClosedLoopDriver",
     "OpenLoopDriver",
+    "SessionClass",
+    "AggregateOpenLoopDriver",
 ]

@@ -13,10 +13,20 @@ Used by ``python -m repro campaign`` and by the long-running integration
 tests.
 """
 
+import json
+import time
+
 from repro.bench.formats import render_table
 from repro.harness.cluster import Cluster
 from repro.harness.replay import replay_schedule
 from repro.harness.schedule import ActionSchedule
+from repro.obs.metrics import StreamingHistogram
+
+#: Schema tag of the machine-readable campaign report.  The report is
+#: deliberately wall-clock-free: two runs of the same seeds — serial,
+#: or merged from any number of parallel workers — must serialise to
+#: byte-identical JSON (the parallel-smoke CI job ``cmp``s them).
+CAMPAIGN_SCHEMA = "repro-campaign/v1"
 
 
 class RunOutcome:
@@ -24,11 +34,12 @@ class RunOutcome:
 
     __slots__ = ("seed", "ok", "violations", "converged", "epochs",
                  "deliveries", "actions", "error", "schedule",
-                 "signature", "health")
+                 "signature", "health", "latency", "elapsed", "worker")
 
     def __init__(self, seed, ok, violations, converged, epochs,
                  deliveries, actions, error=None, schedule=None,
-                 signature=(), health=None):
+                 signature=(), health=None, latency=None, elapsed=None,
+                 worker=None):
         self.seed = seed
         self.ok = ok
         self.violations = violations
@@ -40,6 +51,14 @@ class RunOutcome:
         self.schedule = schedule
         self.signature = signature
         self.health = health    # HealthMonitor.summary() dict, or None
+        # Commit-latency sketch of the run's client load (a
+        # StreamingHistogram); campaign reports merge these across runs.
+        self.latency = latency
+        # Attribution stamps: wall-clock seconds this run took and which
+        # parallel worker executed it (0 for in-process serial runs).
+        # Deliberately excluded from campaign_report() JSON.
+        self.elapsed = elapsed
+        self.worker = worker
 
     @property
     def passed(self):
@@ -50,7 +69,7 @@ def run_adversarial_campaign(seeds, n_voters=3, steps=10,
                              step_interval=0.5, op_interval=0.02,
                              leader_factory=None, with_health=False,
                              dissemination="leader-direct",
-                             profile="default"):
+                             profile="default", workers=1):
     """Run one adversarial scenario per seed; returns [RunOutcome].
 
     With ``with_health=True`` every run is traced (protocol events
@@ -63,21 +82,24 @@ def run_adversarial_campaign(seeds, n_voters=3, steps=10,
     ``profile="ops"`` swaps the crash/partition adversary for the
     operational one (:meth:`ActionSchedule.generate_ops`): snapshots,
     retention-driven compaction, one-way cuts, and clock skews join
-    the fault mix.
+    the fault mix.  ``workers > 1`` farms the seeds across processes
+    (:func:`repro.bench.parallel.run_parallel_campaign`); outcomes come
+    back in seed order either way, so reports are byte-identical.
     """
-    outcomes = []
-    for seed in seeds:
-        outcomes.append(
-            _one_run(seed, n_voters, steps, step_interval, op_interval,
-                     leader_factory, with_health=with_health,
-                     dissemination=dissemination, profile=profile)
-        )
-    return outcomes
+    from repro.bench.parallel import run_parallel_campaign
+
+    return run_parallel_campaign(
+        seeds, workers=workers, n_voters=n_voters, steps=steps,
+        step_interval=step_interval, op_interval=op_interval,
+        leader_factory=leader_factory, with_health=with_health,
+        dissemination=dissemination, profile=profile,
+    )
 
 
-def _one_run(seed, n_voters, steps, step_interval, op_interval,
-             leader_factory=None, with_health=False,
+def _one_run(seed, n_voters=3, steps=10, step_interval=0.5,
+             op_interval=0.02, leader_factory=None, with_health=False,
              dissemination="leader-direct", profile="default"):
+    started = time.perf_counter()
     if profile == "ops":
         schedule = ActionSchedule.generate_ops(
             seed, n_voters=n_voters, steps=steps,
@@ -96,10 +118,11 @@ def _one_run(seed, n_voters, steps, step_interval, op_interval,
 
         tracer = Tracer()
         tracer.disable("net.")
+    latency = StreamingHistogram()
     result = replay_schedule(
         schedule, n_voters=n_voters, seed=seed, op_interval=op_interval,
         leader_factory=leader_factory, tracer=tracer,
-        dissemination=dissemination,
+        dissemination=dissemination, latency_histogram=latency,
     )
     health = None
     if tracer is not None:
@@ -120,6 +143,9 @@ def _one_run(seed, n_voters, steps, step_interval, op_interval,
         schedule=schedule,
         signature=result.signature,
         health=health,
+        latency=latency,
+        elapsed=time.perf_counter() - started,
+        worker=0,
     )
 
 
@@ -219,9 +245,16 @@ def _drive_partitions(cluster, sim, seed, steps, flap_period, op_interval,
 
 
 def render_comparison(zab_results, paxos_results):
-    """Side-by-side organic-violation table for E4b."""
-    zab_bad = [seed for seed, violations in zab_results if violations]
-    paxos_bad = [seed for seed, violations in paxos_results if violations]
+    """Side-by-side organic-violation table for E4b.
+
+    Result lists merged from parallel workers may arrive in any order;
+    everything here aggregates by value and sorts by seed, so the table
+    is independent of how the runs were scheduled.
+    """
+    zab_bad = sorted(seed for seed, violations in zab_results if violations)
+    paxos_bad = sorted(
+        seed for seed, violations in paxos_results if violations
+    )
     properties = sorted({
         prop
         for _seed, violations in paxos_results
@@ -243,8 +276,17 @@ def render_comparison(zab_results, paxos_results):
 
 
 def render_campaign(outcomes):
-    """Summary table plus a verdict line."""
-    with_health = any(outcome.health is not None for outcome in outcomes)
+    """Summary table plus a verdict line.
+
+    The table is sorted by seed and every aggregate is computed over
+    the outcome *values*, never their positions — merged multi-worker
+    outcome lists render identically however the runs were interleaved.
+    When any outcome carries parallel attribution stamps, a ``worker``
+    and a wall-clock ``ms`` column join the table.
+    """
+    ordered = sorted(outcomes, key=lambda outcome: outcome.seed)
+    with_health = any(outcome.health is not None for outcome in ordered)
+    with_worker = any(outcome.worker is not None for outcome in ordered)
     rows = [
         (
             outcome.seed,
@@ -261,23 +303,32 @@ def render_campaign(outcomes):
             if with_health else ()
         )
         + (
+            (
+                "-" if outcome.worker is None else outcome.worker,
+                "-" if outcome.elapsed is None
+                else "%.0f" % (outcome.elapsed * 1e3),
+            )
+            if with_worker else ()
+        )
+        + (
             outcome.error or ", ".join(outcome.violations) or
             ("diverged" if not outcome.converged else ""),
         )
-        for outcome in outcomes
+        for outcome in ordered
     ]
     table = render_table(
         ["seed", "verdict", "faults", "max epoch", "deliveries"]
-        + (["health"] if with_health else []) + ["notes"],
+        + (["health"] if with_health else [])
+        + (["worker", "ms"] if with_worker else []) + ["notes"],
         rows,
-        title="Adversarial campaign (%d runs)" % len(outcomes),
+        title="Adversarial campaign (%d runs)" % len(ordered),
     )
-    failed = [outcome for outcome in outcomes if not outcome.passed]
+    failed = [outcome for outcome in ordered if not outcome.passed]
     verdict = (
-        "ALL %d RUNS PASSED" % len(outcomes)
+        "ALL %d RUNS PASSED" % len(ordered)
         if not failed
         else "%d/%d RUNS FAILED (seeds: %s)"
-        % (len(failed), len(outcomes),
+        % (len(failed), len(ordered),
            [outcome.seed for outcome in failed])
     )
     lines = [table, verdict]
@@ -291,3 +342,74 @@ def render_campaign(outcomes):
         )
         lines.append(outcome.schedule.dumps())
     return "\n".join(lines)
+
+
+def _signature_json(signature):
+    """JSON-safe form of a replay violation signature."""
+    return [
+        [prop, None if zxid is None else list(zxid)]
+        for prop, zxid in signature
+    ]
+
+
+def campaign_report(outcomes, params=None):
+    """Machine-readable campaign verdict (``repro-campaign/v1``).
+
+    Contains only simulation-deterministic facts: per-seed verdicts,
+    violation signatures, failing schedules, and the latency sketch
+    merged across runs with :meth:`StreamingHistogram.merge` (exact at
+    the bucket level, so the merged percentiles equal a single
+    histogram that observed every run's samples).  Wall-clock elapsed
+    and worker stamps are deliberately left out — they live on the
+    :class:`RunOutcome` objects and the rendered table — which is what
+    makes serial and N-worker reports byte-identical.
+    """
+    runs = []
+    merged_latency = StreamingHistogram()
+    for outcome in sorted(outcomes, key=lambda outcome: outcome.seed):
+        row = {
+            "seed": outcome.seed,
+            "passed": outcome.passed,
+            "ok": outcome.ok,
+            "converged": outcome.converged,
+            "violations": sorted(outcome.violations),
+            "signature": _signature_json(outcome.signature),
+            "deliveries": outcome.deliveries,
+            "epochs": sorted(outcome.epochs),
+            "actions": len(outcome.actions),
+            "error": outcome.error,
+        }
+        if outcome.health is not None:
+            row["health"] = outcome.health
+        if outcome.latency is not None:
+            merged_latency.merge(outcome.latency)
+            row["latency"] = outcome.latency.snapshot()
+        if not outcome.passed and outcome.schedule is not None:
+            row["schedule"] = outcome.schedule.to_json()
+        runs.append(row)
+    failed = sorted(
+        outcome.seed for outcome in outcomes if not outcome.passed
+    )
+    return {
+        "schema": CAMPAIGN_SCHEMA,
+        "params": params or {},
+        "runs": runs,
+        "summary": {
+            "runs": len(runs),
+            "passed": len(runs) - len(failed),
+            "failed_seeds": failed,
+            "deliveries": sum(
+                outcome.deliveries for outcome in outcomes
+            ),
+            "latency": merged_latency.snapshot(),
+        },
+    }
+
+
+def write_campaign_report(outcomes, path, params=None):
+    """Write :func:`campaign_report` as sorted, indented JSON."""
+    report = campaign_report(outcomes, params=params)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -33,6 +33,24 @@ Four probes, one per hot layer:
   plus the *deterministic* ``.leader_egress_bytes_per_txn`` that
   separates the topologies (∝ n-1 for leader-direct, ~flat for
   chain/ring, ∝ fan-out for tree).
+- **campaign** — end-to-end adversarial-campaign throughput through
+  :func:`repro.bench.parallel.run_parallel_campaign`:
+  ``campaign.runs_per_s`` plus the deterministic ``campaign.runs``
+  count.
+- **parallel explore** — the partitioned subtree driver
+  (:func:`repro.bench.parallel.parallel_explore`) on the same small
+  search as the serial explore probe, with a process pool:
+  ``explore.parallel.states_per_s`` plus deterministic
+  ``explore.parallel.units`` / ``explore.parallel.runs`` pins (the
+  decomposition itself must never drift).
+- **workload** — aggregate session-class load vs per-client drivers at
+  the same offered rate: ``workload.sim_clients_per_s`` (simulated
+  client-seconds per wall second with one
+  :class:`~repro.bench.workloads.SessionClass` standing in for a
+  million clients), ``workload.perclient_sim_clients_per_s`` (the same
+  measure with one ``OpenLoopDriver`` per client), their ratio
+  ``workload.aggregate_speedup``, and the deterministic
+  ``workload.committed`` count.
 - **tracing** — the observability overhead probe: the same committed-
   write loop under four instrumentation postures — tracer off,
   flight-recorder-only (the always-on black box), deterministic
@@ -66,6 +84,13 @@ EXPLORE_DEPTH = 3
 DISSEMINATION_OPS = 400
 TRACING_OPS = 5000
 TRACING_SAMPLE_RATE = 8
+CAMPAIGN_SEEDS = 6
+CAMPAIGN_STEPS = 4
+PARALLEL_WORKERS = 4
+WORKLOAD_SESSIONS = 1_000_000
+WORKLOAD_CLIENTS = 128
+WORKLOAD_RATE = 400.0          # total offered ops/s, both load shapes
+WORKLOAD_DURATION = 1.0        # simulated seconds per measurement
 
 
 def _best_of(fn, repeat):
@@ -305,6 +330,136 @@ def bench_explore(depth=EXPLORE_DEPTH, peers=3, repeat=3):
 
 
 # ---------------------------------------------------------------------------
+# Campaign and parallel explore
+# ---------------------------------------------------------------------------
+
+def bench_campaign(seeds=CAMPAIGN_SEEDS, steps=CAMPAIGN_STEPS, repeat=2):
+    """Adversarial-campaign throughput, in full seeded runs/second.
+
+    Drives the same :func:`run_parallel_campaign` path the CLI uses
+    (in-process, one worker): each run is a generate + replay + quiesce
+    + check cycle, so this is the end-to-end cost of one campaign seed.
+    """
+    from repro.bench.parallel import run_parallel_campaign
+
+    def run_once():
+        outcomes = run_parallel_campaign(
+            range(seeds), workers=1, steps=steps,
+        )
+        assert len(outcomes) == seeds
+        return len(outcomes)
+
+    return {
+        "campaign.runs_per_s": _best_of(run_once, repeat),
+        "campaign.runs": float(seeds),
+    }
+
+
+def bench_parallel_explore(depth=EXPLORE_DEPTH, peers=3,
+                           workers=PARALLEL_WORKERS, repeat=1):
+    """Partitioned-explorer throughput across a process pool.
+
+    Same small search as :func:`bench_explore`, driven through
+    :func:`repro.bench.parallel.parallel_explore` with *workers*
+    processes.  The rate scales with cores (each subtree unit is an
+    independent process); the ``units`` / ``runs`` counts are
+    simulation-deterministic and pinned tightly — the subtree
+    decomposition itself must never drift.
+    """
+    from repro.bench.parallel import parallel_explore
+    from repro.mc.explorer import ExplorerConfig
+
+    stats = {}
+
+    def run_once():
+        result = parallel_explore(ExplorerConfig(
+            peers=peers, depth=depth, seed=0,
+            max_schedules=512, max_states=4096, max_violations=0,
+        ), workers=workers)
+        stats["states"] = result.states_visited
+        stats["runs"] = result.runs
+        stats["units"] = len(result.unit_results)
+        return result.states_visited
+
+    rate = _best_of(run_once, repeat)
+    return {
+        "explore.parallel.states_per_s": rate,
+        "explore.parallel.states": float(stats["states"]),
+        "explore.parallel.runs": float(stats["runs"]),
+        "explore.parallel.units": float(stats["units"]),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Aggregate workload
+# ---------------------------------------------------------------------------
+
+def bench_workload(sessions=WORKLOAD_SESSIONS, clients=WORKLOAD_CLIENTS,
+                   rate=WORKLOAD_RATE, duration=WORKLOAD_DURATION,
+                   repeat=2):
+    """Simulated-clients-per-wall-second: aggregate vs per-client load.
+
+    Both measurements drive the *same* cluster shape with the same
+    total offered rate for the same simulated duration; the only
+    difference is the load model.  The aggregate side models *sessions*
+    clients as one :class:`SessionClass` (cost independent of the
+    population size); the per-client side boots one ``OpenLoopDriver``
+    per client, which is why it stops at ``clients`` — a million
+    driver objects would never finish.  ``sim_clients_per_s`` is
+    simulated client-seconds delivered per wall-clock second, the
+    capacity number the ROADMAP's planetary-scale goal needs.
+    ``workload.committed`` is simulation-deterministic and pinned.
+    """
+    from repro.bench.workloads import (
+        AggregateOpenLoopDriver, OpenLoopDriver, SessionClass,
+    )
+    from repro.harness.cluster import Cluster
+    from repro.harness.config import ClusterConfig
+
+    committed = {}
+
+    def aggregate_once():
+        cluster = Cluster(ClusterConfig(n_voters=3, seed=1)).start()
+        cluster.run_until_stable(timeout=60.0)
+        driver = AggregateOpenLoopDriver(cluster, [SessionClass(
+            "micro", sessions=sessions, rate_per_session=rate / sessions,
+            read_fraction=0.5, op_size=64,
+        )]).start()
+        cluster.run(duration)
+        driver.stop()
+        committed["aggregate"] = float(driver.committed)
+        return sessions * duration
+
+    def perclient_once():
+        cluster = Cluster(ClusterConfig(n_voters=3, seed=1)).start()
+        cluster.run_until_stable(timeout=60.0)
+        payload = "v" * 64
+        drivers = [
+            OpenLoopDriver(
+                cluster, rate / clients,
+                lambda index, c=client: ("put", "key-%d" % c, payload),
+                64,
+            ).start()
+            for client in range(clients)
+        ]
+        cluster.run(duration)
+        for driver in drivers:
+            driver.stop()
+        return clients * duration
+
+    aggregate_rate = _best_of(aggregate_once, repeat)
+    perclient_rate = _best_of(perclient_once, repeat)
+    return {
+        "workload.sim_clients_per_s": aggregate_rate,
+        "workload.perclient_sim_clients_per_s": perclient_rate,
+        "workload.aggregate_speedup": (
+            aggregate_rate / perclient_rate if perclient_rate else 0.0
+        ),
+        "workload.committed": committed["aggregate"],
+    }
+
+
+# ---------------------------------------------------------------------------
 # Dissemination topologies
 # ---------------------------------------------------------------------------
 
@@ -499,6 +654,19 @@ def run_micro_suite(quick=False, progress=None):
             depth=2 if quick else EXPLORE_DEPTH,
             repeat=1 if quick else 3,
         )),
+        ("campaign", lambda: bench_campaign(
+            seeds=2 if quick else CAMPAIGN_SEEDS,
+            repeat=1 if quick else 2,
+        )),
+        ("parallel explore", lambda: bench_parallel_explore(
+            depth=2 if quick else EXPLORE_DEPTH,
+            workers=2 if quick else PARALLEL_WORKERS,
+            repeat=1,
+        )),
+        ("workload", lambda: bench_workload(
+            clients=WORKLOAD_CLIENTS // scale,
+            repeat=1 if quick else 2,
+        )),
         ("dissemination", lambda: bench_dissemination(
             ops=DISSEMINATION_OPS // scale,
             repeat=1,
@@ -534,6 +702,13 @@ def render_micro(metrics):
         ("checker (check_all)", "checker.check_all_events_per_s",
          "events/s"),
         ("explore", "explore.states_per_s", "states/s"),
+        ("explore (parallel)", "explore.parallel.states_per_s",
+         "states/s"),
+        ("campaign", "campaign.runs_per_s", "runs/s"),
+        ("workload (aggregate)", "workload.sim_clients_per_s",
+         "client-s/s"),
+        ("workload (per-client)", "workload.perclient_sim_clients_per_s",
+         "client-s/s"),
     ]
     for key in sorted(metrics):
         prefix = "dissemination."

@@ -1,0 +1,328 @@
+"""Scale-out drivers: farm deterministic work units across processes.
+
+Campaign seeds and explorer schedule-prefix subtrees are embarrassingly
+parallel — every unit is a pure function of ``(config, unit)``, because
+the whole simulation runs in virtual time on seeded PRNG streams.  This
+module exploits that: it partitions units round-robin across a
+``multiprocessing`` pool, executes each with the *stock* serial code
+(:func:`repro.bench.campaign._one_run`, :meth:`repro.mc.explorer.Explorer.run`),
+and merges results order-canonically.
+
+The invariant the whole module is built around: **merged reports are
+byte-identical across worker counts.**  Three rules enforce it:
+
+1. Work units never share state.  Each campaign seed boots its own
+   cluster; each explorer subtree gets a fresh
+   :class:`~repro.mc.explorer.Explorer` (own visited-fingerprint map,
+   own budgets).  A unit's result is a pure function of its inputs.
+2. Partitioning is stable (:func:`partition_items` round-robin) and
+   results are re-assembled by unit index, so merge order never depends
+   on which worker finished first.
+3. Anything wall-clock flavoured (``elapsed``, ``worker``) is stamped
+   on the result *objects* for the human-rendered tables, and excluded
+   from every canonical JSON report.
+
+Parallel exploration deliberately redefines budget semantics: the
+serial :meth:`Explorer.run` shares one visited map and one
+``max_schedules`` budget across the whole tree, which no partitioned
+search can replicate.  Here budgets apply *per subtree unit* and
+pruning is per-unit too — so ``--workers 1`` through this driver (not
+the legacy serial path) is the comparison baseline, and results are
+identical for any worker count.
+"""
+
+import copy
+import multiprocessing
+import os
+import time
+
+from repro.mc.explorer import ExplorationResult, Explorer
+
+__all__ = [
+    "partition_items",
+    "run_parallel_campaign",
+    "split_explore_units",
+    "parallel_explore",
+    "ParallelExplorationResult",
+]
+
+
+def partition_items(items, workers):
+    """Round-robin split of *items* into ``workers`` stable chunks.
+
+    ``partition_items(xs, w)[k]`` is ``xs[k::w]`` — every item lands in
+    exactly one chunk (nothing lost, nothing duplicated) and the
+    assignment depends only on ``(len(items), workers)``, never on
+    timing.  Chunks for ``workers > len(items)`` come back empty.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    items = list(items)
+    return [items[worker::workers] for worker in range(workers)]
+
+
+def _mp_context():
+    """Prefer fork (cheap, inherits the loaded modules), else spawn."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:          # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
+# ----------------------------------------------------------------------
+# Campaign: one work unit per seed
+# ----------------------------------------------------------------------
+
+
+def _campaign_chunk(payload):
+    """Pool worker: run one chunk of (index, seed) pairs serially."""
+    from repro.bench.campaign import _one_run
+
+    chunk, kwargs = payload
+    return [(index, _one_run(seed, **kwargs)) for index, seed in chunk]
+
+
+def run_parallel_campaign(seeds, workers=1, **kwargs):
+    """Adversarial campaign over *seeds*, fanned across processes.
+
+    Returns ``[RunOutcome]`` in seed-argument order regardless of
+    worker count or completion order; each outcome is stamped with the
+    worker id that ran it and its wall-clock ``elapsed``.  Keyword
+    arguments are those of
+    :func:`repro.bench.campaign.run_adversarial_campaign`.
+    """
+    from repro.bench.campaign import _one_run
+
+    seeds = list(seeds)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers <= 1 or len(seeds) <= 1:
+        return [_one_run(seed, **kwargs) for seed in seeds]
+    indexed = list(enumerate(seeds))
+    chunks = [
+        chunk for chunk in partition_items(indexed, workers) if chunk
+    ]
+    results = [None] * len(seeds)
+    ctx = _mp_context()
+    with ctx.Pool(processes=len(chunks)) as pool:
+        try:
+            per_chunk = pool.map(
+                _campaign_chunk, [(chunk, kwargs) for chunk in chunks]
+            )
+        finally:
+            pool.close()
+            pool.join()
+    for worker_id, chunk_results in enumerate(per_chunk):
+        for index, outcome in chunk_results:
+            outcome.worker = worker_id
+            results[index] = outcome
+    return results
+
+
+# ----------------------------------------------------------------------
+# Explorer: one work unit per root-sibling subtree
+# ----------------------------------------------------------------------
+
+
+def split_explore_units(config):
+    """Run the root prefix once; return (root result, subtree roots).
+
+    Thin wrapper over :meth:`Explorer.bootstrap` so callers (CLI,
+    benchmarks) can inspect the decomposition without touching explorer
+    internals.
+    """
+    return Explorer(config).bootstrap()
+
+
+def _unit_config(config, index):
+    """Per-unit config: same knobs, own flight-recorder subdirectory.
+
+    Several units can each hit violations; giving every unit its own
+    ``unit-<n>`` dump directory keeps ``violation-0.flight.jsonl``
+    names from colliding, deterministically (the subdirectory is named
+    after the unit index, not the worker).
+    """
+    unit = copy.copy(config)
+    if config.recorder_dir is not None:
+        unit.recorder_dir = os.path.join(
+            config.recorder_dir, "unit-%d" % index
+        )
+    return unit
+
+
+def _explore_chunk(payload):
+    """Pool worker: explore one chunk of (index, config, prefix) units."""
+    return [
+        (index, Explorer(config).run(roots=[prefix]))
+        for index, config, prefix in payload
+    ]
+
+
+class ParallelExplorationResult:
+    """Order-canonical merge of a root run plus per-subtree results.
+
+    Quacks like :class:`~repro.mc.explorer.ExplorationResult` (same
+    aggregate attributes, same ``to_json`` shape plus a ``parallel``
+    block) so the CLI and tests consume either interchangeably.
+    ``states_visited`` is the *sum of per-unit distinct fingerprints*:
+    units prune independently, so a state straddling two subtrees
+    counts once per subtree — the price of share-nothing workers, and
+    identical for every worker count.
+    """
+
+    def __init__(self, config, root, unit_results, elapsed=None):
+        self.config = config
+        self.root = root
+        self.unit_results = unit_results
+        self.elapsed = elapsed
+        self.worker = None
+        everything = [root] + unit_results
+        self.runs = sum(result.runs for result in everything)
+        self.choice_points = sum(
+            result.choice_points for result in everything
+        )
+        self.states_visited = sum(
+            result.states_visited for result in everything
+        )
+        self.states_pruned = sum(
+            result.states_pruned for result in everything
+        )
+        self.por_skipped = sum(
+            result.por_skipped for result in everything
+        )
+        self.frontier_left = sum(
+            result.frontier_left for result in everything
+        )
+        self.violations = _merge_violations(everything)
+        self.errors = sorted(
+            (error for result in everything for error in result.errors),
+            key=lambda entry: (tuple(entry[0]), entry[1]),
+        )
+        reasons = sorted({
+            result.stopped_reason for result in everything
+            if result.stopped_reason != "exhausted"
+        })
+        self.stopped_reason = (
+            "exhausted" if not reasons else ",".join(reasons)
+        )
+
+    @property
+    def exhausted(self):
+        return self.stopped_reason == "exhausted"
+
+    @property
+    def ok(self):
+        return not self.violations and not self.errors
+
+    def unit_rows(self):
+        """Per-unit attribution rows for the human-rendered summary."""
+        rows = []
+        for index, result in enumerate(self.unit_results):
+            rows.append({
+                "unit": index,
+                "prefix": getattr(result, "root_prefix", None),
+                "runs": result.runs,
+                "states": result.states_visited,
+                "violations": len(result.violations),
+                "stopped": result.stopped_reason,
+                "elapsed": result.elapsed,
+                "worker": result.worker,
+            })
+        return rows
+
+    def to_json(self):
+        serial = ExplorationResult.to_json(self)
+        serial["parallel"] = {"units": len(self.unit_results)}
+        return serial
+
+    def __repr__(self):
+        return (
+            "<ParallelExplorationResult %d units, %d runs, %d states, "
+            "%d violations, %s>"
+            % (len(self.unit_results), self.runs, self.states_visited,
+               len(self.violations), self.stopped_reason)
+        )
+
+
+def _merge_violations(results):
+    """Deduplicate violations by signature, deterministically.
+
+    Several subtrees can independently hit the same violation
+    signature; keep exactly one per signature, chosen by a total order
+    on ``(repr(signature), prefix)`` — ``repr`` because signatures mix
+    ``None`` and tuples, which Python refuses to compare directly.  The
+    survivor (and the final ordering) is a pure function of the merged
+    set, so any execution order converges on the same list.
+    """
+    def sort_key(violation):
+        return (repr(violation.signature), tuple(violation.prefix))
+
+    chosen = {}
+    for result in results:
+        for violation in result.violations:
+            incumbent = chosen.get(violation.signature)
+            if incumbent is None or sort_key(violation) < sort_key(incumbent):
+                chosen[violation.signature] = violation
+    return sorted(chosen.values(), key=sort_key)
+
+
+def parallel_explore(config, workers=1, metrics=None, progress=None):
+    """Partitioned exploration: root once, then one unit per subtree.
+
+    The parent executes the empty prefix and reads its recorded choice
+    points; every untaken sibling roots a disjoint subtree
+    (:meth:`Explorer.bootstrap`), explored by a fresh share-nothing
+    :class:`Explorer` with its own visited map and budgets.  Merged
+    verdicts and violations are byte-identical for every ``workers``
+    value (see module docstring); ``workers`` only decides how many OS
+    processes the units are spread over.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    started = time.perf_counter()
+    root_config = copy.copy(config)
+    if config.recorder_dir is not None:
+        root_config.recorder_dir = os.path.join(
+            config.recorder_dir, "root"
+        )
+    root, prefixes = Explorer(
+        root_config, metrics=metrics, progress=progress
+    ).bootstrap()
+    root.worker = 0
+    units = [
+        (index, _unit_config(config, index), prefix)
+        for index, prefix in enumerate(prefixes)
+    ]
+    unit_results = [None] * len(units)
+    if workers <= 1 or len(units) <= 1:
+        for index, unit_cfg, prefix in units:
+            explorer = Explorer(unit_cfg, metrics=metrics,
+                                progress=progress)
+            result = explorer.run(roots=[prefix])
+            result.worker = 0
+            result.root_prefix = list(prefix)
+            unit_results[index] = result
+    else:
+        chunks = [
+            chunk for chunk in partition_items(units, workers) if chunk
+        ]
+        ctx = _mp_context()
+        with ctx.Pool(processes=len(chunks)) as pool:
+            try:
+                per_chunk = pool.map(_explore_chunk, chunks)
+            finally:
+                pool.close()
+                pool.join()
+        prefix_of = {index: prefix for index, _cfg, prefix in units}
+        for worker_id, chunk_results in enumerate(per_chunk):
+            for index, result in chunk_results:
+                result.worker = worker_id
+                result.root_prefix = list(prefix_of[index])
+                unit_results[index] = result
+        if metrics is not None:
+            for result in unit_results:
+                Explorer(config, metrics=metrics)._publish_metrics(result)
+    return ParallelExplorationResult(
+        config, root, unit_results,
+        elapsed=time.perf_counter() - started,
+    )

@@ -7,7 +7,11 @@ and traffic accounting.  Every experiment in the ``benchmarks/`` tree
 bottoms out here (or in a small variation of it).
 """
 
-from repro.bench.workloads import ClosedLoopDriver, OpenLoopDriver
+from repro.bench.workloads import (
+    AggregateOpenLoopDriver,
+    ClosedLoopDriver,
+    OpenLoopDriver,
+)
 from repro.harness.cluster import Cluster
 from repro.harness.config import ClusterConfig
 from repro.net import NetworkConfig
@@ -21,7 +25,8 @@ class BenchResult:
     """One experiment data point."""
 
     def __init__(self, params, throughput, latency, duration, committed,
-                 net_stats, timeline, check_report=None, metrics=None):
+                 net_stats, timeline, check_report=None, metrics=None,
+                 workload=None):
         self.params = params
         self.throughput = throughput      # committed ops / simulated second
         self.latency = latency            # summary dict (mean/p50/p95/p99)
@@ -31,6 +36,9 @@ class BenchResult:
         self.timeline = timeline
         self.check_report = check_report
         self.metrics = metrics            # repro.obs registry snapshot
+        # AggregateOpenLoopDriver.results() dict (per-class breakdowns)
+        # when the run used session-class load, else None.
+        self.workload = workload
 
     def __repr__(self):
         return "<BenchResult %.0f ops/s %r>" % (self.throughput, self.params)
@@ -62,14 +70,20 @@ def run_broadcast_bench(
     check_properties=True,
     tracer=None,
     dissemination="leader-direct",
+    session_classes=None,
     **config_overrides
 ):
     """Run one saturated-broadcast (or open-loop) measurement.
 
     Returns a :class:`BenchResult`.  ``open_loop_rate`` switches from the
     closed-loop saturation driver to Poisson arrivals at the given rate.
-    ``dissemination`` selects the broadcast propagation topology
-    (``repro.DISSEMINATION_TOPOLOGIES``).  An optional *tracer*
+    ``session_classes`` (a list of
+    :class:`~repro.bench.workloads.SessionClass`) switches to the
+    aggregate population driver instead: offered load comes from
+    arrival-rate models, the result carries per-class breakdowns in
+    ``result.workload``, and per-class rates/latencies join the bench
+    metrics.  ``dissemination`` selects the broadcast propagation
+    topology (``repro.DISSEMINATION_TOPOLOGIES``).  An optional *tracer*
     (:class:`repro.obs.Tracer`) records structured events from every
     layer; the result always carries a
     :class:`repro.obs.MetricsRegistry` snapshot (commit counters, drop
@@ -93,7 +107,12 @@ def run_broadcast_bench(
 
     commit_latency = registry.histogram("bench.commit_latency_s")
     op_factory = default_op_factory(op_size)
-    if open_loop_rate is not None:
+    if session_classes is not None:
+        driver = AggregateOpenLoopDriver(
+            cluster, session_classes, warmup=warmup,
+            latency_histogram=commit_latency,
+        )
+    elif open_loop_rate is not None:
         driver = OpenLoopDriver(
             cluster, open_loop_rate, op_factory, op_size, warmup=warmup,
             latency_histogram=commit_latency,
@@ -123,18 +142,26 @@ def run_broadcast_bench(
         )
 
     leader = cluster.leader()
+    params = {
+        "n_voters": n_voters,
+        "op_size": op_size,
+        "outstanding": outstanding,
+        "open_loop_rate": open_loop_rate,
+        "bandwidth_bps": bandwidth_bps,
+        "disk": disk,
+        "seed": seed,
+        "dissemination": dissemination,
+        "leader": leader.peer_id if leader is not None else None,
+    }
+    workload = None
+    if session_classes is not None:
+        params["session_classes"] = [
+            cls.to_json() for cls in session_classes
+        ]
+        workload = driver.results()
+        workload["class_metrics"] = driver.class_metrics(measured_window)
     return BenchResult(
-        params={
-            "n_voters": n_voters,
-            "op_size": op_size,
-            "outstanding": outstanding,
-            "open_loop_rate": open_loop_rate,
-            "bandwidth_bps": bandwidth_bps,
-            "disk": disk,
-            "seed": seed,
-            "dissemination": dissemination,
-            "leader": leader.peer_id if leader is not None else None,
-        },
+        params=params,
         throughput=throughput,
         latency=driver.latency.summary(),
         duration=measured_window,
@@ -143,4 +170,5 @@ def run_broadcast_bench(
         timeline=driver.timeline,
         check_report=report,
         metrics=registry.snapshot(),
+        workload=workload,
     )

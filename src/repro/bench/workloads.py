@@ -1,6 +1,6 @@
 """Workload drivers.
 
-Two classic load models:
+Three load models:
 
 - :class:`ClosedLoopDriver` — a fixed number of outstanding operations;
   each commit immediately triggers the next submission.  With enough
@@ -9,14 +9,21 @@ Two classic load models:
 - :class:`OpenLoopDriver` — Poisson arrivals at a target rate,
   independent of completions; used for the latency-vs-offered-load sweep
   where the interesting feature is the saturation knee.
+- :class:`AggregateOpenLoopDriver` — *populations* of sessions modelled
+  as a single arrival process per :class:`SessionClass`.  Superposition
+  of N independent Poisson(r) processes is exactly Poisson(N·r), so a
+  million simulated clients cost one event stream instead of a million
+  driver objects — the scale-out seam for planetary-sized offered load.
 
-Both submit directly at the current leader (``propose_op``), measuring
-the broadcast layer itself rather than client networking, and both
-survive leader changes by re-resolving the leader and retrying.
+All of them submit writes directly at the current leader
+(``propose_op``), measuring the broadcast layer itself rather than
+client networking, and survive leader changes by re-resolving the
+leader and retrying.
 """
 
 from repro.bench.metrics import LatencyRecorder, Timeline
 from repro.common.errors import NotLeaderError
+from repro.obs.metrics import StreamingHistogram
 
 
 class _DriverBase:
@@ -173,3 +180,281 @@ class OpenLoopDriver(_DriverBase):
         if not self._submit_one():
             self.rejected += 1
         self._schedule_next()
+
+
+#: Arrival models a :class:`SessionClass` understands.
+ARRIVAL_MODELS = ("poisson", "uniform", "fixed")
+
+
+class SessionClass:
+    """Aggregate arrival model for a population of identical sessions.
+
+    Instead of one driver object per simulated client, a class models
+    the *population*: ``sessions`` clients each issuing
+    ``rate_per_session`` ops per simulated second collapse into one
+    arrival process at the aggregate rate.  For ``poisson`` this is
+    mathematically exact (superposition of independent Poisson
+    processes); ``uniform`` draws inter-arrivals uniformly on
+    ``[0, 2/rate]`` (same mean, bounded burstiness) and ``fixed`` is a
+    metronome at ``1/rate`` — useful for worst-case pacing studies.
+
+    ``read_fraction`` of arrivals are reads, served locally at a live
+    replica's state machine (reads in this system never touch the
+    broadcast layer); the rest are ``put`` writes proposed at the
+    leader.  ``op_size`` is either an int (fixed payload bytes) or
+    ``("uniform", lo, hi)`` for a per-op size draw.
+    """
+
+    __slots__ = ("name", "sessions", "rate_per_session", "read_fraction",
+                 "arrival", "op_size", "keys")
+
+    def __init__(self, name, sessions, rate_per_session, read_fraction=0.0,
+                 arrival="poisson", op_size=128, keys=64):
+        if sessions < 1:
+            raise ValueError("sessions must be >= 1")
+        if rate_per_session <= 0:
+            raise ValueError("rate_per_session must be positive")
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if arrival not in ARRIVAL_MODELS:
+            raise ValueError(
+                "arrival must be one of %r" % (ARRIVAL_MODELS,)
+            )
+        self.name = name
+        self.sessions = sessions
+        self.rate_per_session = rate_per_session
+        self.read_fraction = read_fraction
+        self.arrival = arrival
+        self.op_size = op_size
+        self.keys = keys
+
+    @property
+    def aggregate_rate(self):
+        """Offered ops per simulated second across the population."""
+        return self.sessions * self.rate_per_session
+
+    def sample_interarrival(self, rng):
+        rate = self.aggregate_rate
+        if self.arrival == "poisson":
+            return rng.expovariate(rate)
+        if self.arrival == "uniform":
+            return rng.uniform(0.0, 2.0 / rate)
+        return 1.0 / rate
+
+    def sample_size(self, rng):
+        if isinstance(self.op_size, int):
+            return self.op_size
+        kind, lo, hi = self.op_size
+        if kind != "uniform":
+            raise ValueError("unknown op_size distribution: %r" % (kind,))
+        return rng.randint(lo, hi)
+
+    def to_json(self):
+        return {
+            "name": self.name,
+            "sessions": self.sessions,
+            "rate_per_session": self.rate_per_session,
+            "read_fraction": self.read_fraction,
+            "arrival": self.arrival,
+            "op_size": (
+                self.op_size if isinstance(self.op_size, int)
+                else list(self.op_size)
+            ),
+            "keys": self.keys,
+        }
+
+
+class _ClassState:
+    """Per-class live counters and sketches inside the aggregate driver."""
+
+    __slots__ = ("cls", "rng", "latency", "histogram", "submitted",
+                 "committed", "reads", "read_misses", "rejected")
+
+    def __init__(self, cls, rng, warmup_until):
+        self.cls = cls
+        self.rng = rng
+        self.latency = LatencyRecorder(warmup_until=warmup_until)
+        self.histogram = StreamingHistogram()
+        self.submitted = 0
+        self.committed = 0
+        self.reads = 0
+        self.read_misses = 0
+        self.rejected = 0
+
+
+class AggregateOpenLoopDriver:
+    """Open-loop load from session *populations*, one stream per class.
+
+    Each :class:`SessionClass` draws its arrivals, op sizes, and
+    read/write coin flips from its own named PRNG stream
+    (``aggload:<class>``), so adding a class never perturbs another
+    class's schedule and the whole offered load is a deterministic
+    function of the cluster seed.  Writes ride the normal
+    ``propose_op`` path and record commit latency per class; reads are
+    answered immediately from a live replica's state machine, modelling
+    the read path this system actually has (reads never enter the
+    broadcast pipeline).
+
+    The driver exposes the same surface the bench runner expects from
+    the per-client drivers — ``latency`` / ``timeline`` / ``submitted``
+    / ``committed`` / ``results()`` — plus per-class breakdowns.
+    """
+
+    def __init__(self, cluster, classes, warmup=0.0, timeline_bucket=0.1,
+                 latency_histogram=None):
+        if not classes:
+            raise ValueError("need at least one SessionClass")
+        names = [cls.name for cls in classes]
+        if len(set(names)) != len(names):
+            raise ValueError("session class names must be unique")
+        self.cluster = cluster
+        self.latency = LatencyRecorder(
+            warmup_until=cluster.sim.now + warmup
+        )
+        self.latency_histogram = latency_histogram
+        self._warmup_until = cluster.sim.now + warmup
+        self.timeline = Timeline(bucket=timeline_bucket)
+        self.stopped = False
+        self.classes = [
+            _ClassState(
+                cls,
+                cluster.sim.random.stream("aggload:%s" % cls.name),
+                self._warmup_until,
+            )
+            for cls in classes
+        ]
+
+    @property
+    def sessions(self):
+        """Total simulated client sessions across every class."""
+        return sum(state.cls.sessions for state in self.classes)
+
+    @property
+    def submitted(self):
+        return sum(
+            state.submitted + state.reads + state.read_misses
+            for state in self.classes
+        )
+
+    @property
+    def committed(self):
+        return sum(state.committed for state in self.classes)
+
+    @property
+    def rejected(self):
+        return sum(state.rejected for state in self.classes)
+
+    def start(self):
+        for state in self.classes:
+            self._schedule_next(state)
+        return self
+
+    def stop(self):
+        self.stopped = True
+
+    def _schedule_next(self, state):
+        if self.stopped:
+            return
+        delay = state.cls.sample_interarrival(state.rng)
+        self.cluster.sim.schedule(delay, lambda: self._arrival(state))
+
+    def _arrival(self, state):
+        if self.stopped:
+            return
+        cls, rng = state.cls, state.rng
+        key = "key-%d" % rng.randrange(cls.keys)
+        if cls.read_fraction and rng.random() < cls.read_fraction:
+            self._read(state, key)
+        else:
+            self._write(state, key)
+        self._schedule_next(state)
+
+    def _read(self, state, key):
+        """Serve a read at a deterministic live replica, locally."""
+        live = [
+            peer for _pid, peer in sorted(self.cluster.peers.items())
+            if not peer.crashed
+        ]
+        if not live:
+            state.read_misses += 1
+            return
+        peer = live[state.rng.randrange(len(live))]
+        try:
+            peer.sm.read(("get", key))
+        except Exception:
+            state.read_misses += 1
+            return
+        state.reads += 1
+
+    def _write(self, state, key):
+        leader = self.cluster.leader()
+        if leader is None:
+            state.rejected += 1
+            return
+        size = state.cls.sample_size(state.rng)
+        submit_time = self.cluster.sim.now
+
+        def on_commit(result, zxid, t0=submit_time):
+            now = self.cluster.sim.now
+            state.committed += 1
+            sample = now - t0
+            state.latency.record(now, sample)
+            if now >= self._warmup_until:
+                state.histogram.observe(sample)
+                if self.latency_histogram is not None:
+                    self.latency_histogram.observe(sample)
+            self.latency.record(now, sample)
+            self.timeline.add(now)
+
+        try:
+            leader.propose_op(
+                ("put", key, "v" * size), callback=on_commit, size=size,
+            )
+        except NotLeaderError:
+            state.rejected += 1
+            return
+        state.submitted += 1
+
+    def results(self):
+        """Aggregate summary plus per-class breakdowns."""
+        return {
+            "sessions": self.sessions,
+            "submitted": self.submitted,
+            "committed": self.committed,
+            "latency": self.latency.summary(),
+            "classes": {
+                state.cls.name: {
+                    "sessions": state.cls.sessions,
+                    "offered_rate": state.cls.aggregate_rate,
+                    "submitted": state.submitted,
+                    "committed": state.committed,
+                    "reads": state.reads,
+                    "read_misses": state.read_misses,
+                    "rejected": state.rejected,
+                    "latency": state.latency.summary(),
+                    "latency_sketch": state.histogram.snapshot(),
+                }
+                for state in self.classes
+            },
+        }
+
+    def class_metrics(self, duration):
+        """Flat dot-keyed per-class metrics for ``BENCH_*.json`` reports."""
+        metrics = {"workload.sessions": self.sessions}
+        for state in self.classes:
+            prefix = "workload.class.%s" % state.cls.name
+            metrics["%s.sessions" % prefix] = state.cls.sessions
+            metrics["%s.committed" % prefix] = state.committed
+            metrics["%s.reads" % prefix] = state.reads
+            if duration > 0:
+                metrics["%s.write_ops" % prefix] = (
+                    state.latency.count() / duration
+                )
+                metrics["%s.read_ops" % prefix] = state.reads / duration
+            summary = state.latency.summary()
+            for key in ("mean", "p50", "p95", "p99"):
+                if key in summary:
+                    metrics["%s.latency.%s_ms" % (prefix, key)] = (
+                        summary[key] * 1e3
+                    )
+        return metrics

@@ -575,7 +575,26 @@ def cmd_explore(args):
                      len(result.violations), result.frontier_left),
                   file=sys.stderr)
 
-    result = Explorer(config, progress=progress).run()
+    if args.workers is not None:
+        # Partitioned subtree driver: byte-identical summary for every
+        # worker count (budgets per subtree).  No --workers keeps the
+        # legacy single-frontier search and its budget semantics.
+        from repro.bench.parallel import parallel_explore
+
+        result = parallel_explore(config, workers=args.workers,
+                                  progress=progress)
+        print("parallel: %d subtree units over %d workers"
+              % (len(result.unit_results), max(1, args.workers)))
+        for row in result.unit_rows():
+            print("  unit %-3d prefix=%-12s %3d runs, %4d states, "
+                  "%d violations, %s (worker %s, %.0f ms)"
+                  % (row["unit"], row["prefix"], row["runs"],
+                     row["states"], row["violations"], row["stopped"],
+                     row["worker"],
+                     0.0 if row["elapsed"] is None
+                     else row["elapsed"] * 1e3))
+    else:
+        result = Explorer(config, progress=progress).run()
 
     print("explored %d schedules over %d distinct states "
           "(depth %d, %d peers, seed %d)"
@@ -631,14 +650,28 @@ def cmd_campaign(args):
     from repro.bench.campaign import (
         render_campaign,
         run_adversarial_campaign,
+        write_campaign_report,
     )
 
     seeds = range(args.first_seed, args.first_seed + args.seeds)
     outcomes = run_adversarial_campaign(
         seeds, n_voters=args.servers, steps=args.steps,
         with_health=args.health, profile=args.profile,
+        workers=args.workers,
     )
     print(render_campaign(outcomes))
+    if args.json:
+        # The report is wall-clock- and worker-free on purpose: the
+        # parallel-smoke CI job cmp's a 2-worker file against a serial
+        # one byte for byte.
+        write_campaign_report(outcomes, args.json, params={
+            "servers": args.servers,
+            "seeds": args.seeds,
+            "first_seed": args.first_seed,
+            "steps": args.steps,
+            "profile": args.profile,
+        })
+        print("report: %s" % args.json)
     return 0 if all(outcome.passed for outcome in outcomes) else 1
 
 
@@ -933,6 +966,12 @@ def build_parser():
                            choices=list(DISSEMINATION_TOPOLOGIES),
                            help="broadcast propagation topology for "
                                 "every explored execution")
+    p_explore.add_argument("--workers", type=int, default=None,
+                           metavar="N",
+                           help="partition the search into root-sibling "
+                                "subtrees across N processes (budgets "
+                                "apply per subtree; merged summary is "
+                                "byte-identical for every N)")
     p_explore.add_argument("--json", default=None, metavar="PATH",
                            help="write the JSON exploration summary here")
     p_explore.add_argument("-o", "--out", default=None,
@@ -958,6 +997,14 @@ def build_parser():
                             help="adversary profile: 'ops' adds "
                                  "snapshots, compaction, one-way cuts "
                                  "and clock skew to the fault mix")
+    p_campaign.add_argument("--workers", type=int, default=1,
+                            metavar="N",
+                            help="farm seeds across N processes "
+                                 "(reports are byte-identical for "
+                                 "every N)")
+    p_campaign.add_argument("--json", default=None, metavar="PATH",
+                            help="write the machine-readable campaign "
+                                 "report (repro-campaign/v1) here")
     p_campaign.set_defaults(fn=cmd_campaign)
 
     p_ops = sub.add_parser(

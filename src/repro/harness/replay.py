@@ -74,7 +74,8 @@ class ReplayResult:
 def replay_schedule(schedule, n_voters=None, seed=None, op_interval=None,
                     settle=2.0, timeout=60.0, op=("incr", "campaign", 1),
                     leader_factory=None, tracer=None, metrics=None,
-                    dissemination=None, recorder_dir=None, **cluster_kwargs):
+                    dissemination=None, recorder_dir=None,
+                    latency_histogram=None, **cluster_kwargs):
     """Run *schedule* against a fresh cluster; returns a ReplayResult.
 
     With *recorder_dir* set, any failing replay (checker violation,
@@ -121,11 +122,24 @@ def replay_schedule(schedule, n_voters=None, seed=None, op_interval=None,
     t0 = cluster.sim.now
 
     if op_interval:
+        # With a latency_histogram the client load records submit-to-
+        # commit latency per op.  The callback only feeds the sketch —
+        # it schedules nothing and draws no randomness — so traced
+        # events and violation signatures stay bit-identical to a
+        # histogram-free replay.
         def load_tick():
             leader = cluster.leader()
             if leader is not None:
                 try:
-                    leader.propose_op(op)
+                    if latency_histogram is None:
+                        leader.propose_op(op)
+                    else:
+                        def _observe(_result, _zxid, _t0=cluster.sim.now):
+                            latency_histogram.observe(
+                                cluster.sim.now - _t0
+                            )
+
+                        leader.propose_op(op, callback=_observe)
                 except Exception:
                     pass
             cluster.sim.schedule(op_interval, load_tick)

@@ -78,9 +78,20 @@ class DfsFrontier:
     still hot in the visited set).
     """
 
-    def __init__(self):
-        self._stack = [[]]
-        self.pushed = 1
+    def __init__(self, roots=None):
+        """Start from *roots* (default: the single empty prefix).
+
+        Seeding the frontier with a non-empty prefix restricts the
+        search to that prefix's subtree: ``expand`` only ever queues
+        siblings at or beyond the popped prefix's length, and all of
+        those extend it.  ``repro.bench.parallel`` exploits this to
+        farm disjoint subtrees to worker processes.
+        """
+        if roots is None:
+            self._stack = [[]]
+        else:
+            self._stack = [list(root) for root in roots]
+        self.pushed = len(self._stack)
 
     def __len__(self):
         return len(self._stack)

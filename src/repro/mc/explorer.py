@@ -23,6 +23,7 @@ prefixes were left unexplored — no silent caps.
 """
 
 import os
+import time
 
 from repro.checker import CheckerState
 from repro.harness.cluster import Cluster
@@ -162,6 +163,11 @@ class ExplorationResult:
         self.errors = []              # (prefix, error-string) pairs
         self.stopped_reason = "exhausted"
         self.frontier_left = 0
+        # Attribution stamps (wall-clock seconds / worker process id).
+        # Deliberately absent from to_json(): the canonical summary must
+        # stay byte-identical across machines and worker counts.
+        self.elapsed = None
+        self.worker = None
 
     @property
     def exhausted(self):
@@ -238,11 +244,18 @@ class Explorer:
     # Search driver
     # ------------------------------------------------------------------
 
-    def run(self):
-        """Explore until the frontier drains or a budget trips."""
+    def run(self, roots=None):
+        """Explore until the frontier drains or a budget trips.
+
+        *roots* seeds the frontier with explicit decision prefixes
+        instead of the empty one — the subtree-parallelism seam used by
+        :func:`repro.bench.parallel.parallel_explore`, where each worker
+        explores one disjoint subtree of the search.
+        """
+        started = time.perf_counter()
         config = self.config
         result = ExplorationResult(config)
-        frontier = DfsFrontier()
+        frontier = DfsFrontier(roots)
         while len(frontier):
             if result.runs >= config.max_schedules:
                 result.stopped_reason = "max_schedules"
@@ -267,8 +280,39 @@ class Explorer:
         result.por_skipped = self._por_stats["por_skipped"]
         result.choice_points += self._por_stats["choice_points"]
         result.frontier_left = len(frontier)
+        result.elapsed = time.perf_counter() - started
         self._publish_metrics(result)
         return result
+
+    def bootstrap(self):
+        """Execute only the root prefix; return (result, subtree roots).
+
+        The root run's recorded choice points define an exact partition
+        of the remaining search tree: every untaken sibling
+        ``taken[:depth] + [value]`` roots one disjoint subtree (the same
+        prefixes a serial :class:`DfsFrontier` would queue from the root
+        expansion).  :func:`repro.bench.parallel.parallel_explore` runs
+        the root here, then farms those subtree roots to workers.
+        """
+        started = time.perf_counter()
+        result = ExplorationResult(self.config)
+        outcome = self._execute([], result)
+        result.runs = 1
+        if outcome.error is not None:
+            result.errors.append(((), outcome.error))
+        elif outcome.signature and not outcome.pruned:
+            self._record_violation([], outcome, result)
+        units = []
+        chooser = outcome.chooser
+        for depth in range(len(chooser.taken)):
+            for value in range(1, chooser.arities[depth]):
+                units.append(chooser.taken[:depth] + [value])
+        result.states_visited = len(self._visited)
+        result.por_skipped = self._por_stats["por_skipped"]
+        result.choice_points += self._por_stats["choice_points"]
+        result.elapsed = time.perf_counter() - started
+        self._publish_metrics(result)
+        return result, units
 
     def _record_violation(self, prefix, outcome, result):
         """Re-verify a violating run through the stock replay engine.

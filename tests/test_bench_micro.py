@@ -31,6 +31,10 @@ def test_suite_reports_every_hot_path(quick_metrics):
         "checker.events_per_s",
         "explore.states_per_s",
         "explore.runs_per_s",
+        "campaign.runs_per_s",
+        "explore.parallel.states_per_s",
+        "workload.sim_clients_per_s",
+        "workload.aggregate_speedup",
         "dissemination.leader-direct.messages_per_s",
         "dissemination.chain.messages_per_s",
         "dissemination.tree.messages_per_s",
@@ -88,8 +92,8 @@ def test_workload_shapes_are_deterministic(quick_metrics):
 
 def test_progress_callback_sees_each_probe(quick_metrics):
     assert _PROGRESS == [
-        "kernel", "fabric", "checker", "explore", "dissemination",
-        "tracing",
+        "kernel", "fabric", "checker", "explore", "campaign",
+        "parallel explore", "workload", "dissemination", "tracing",
     ]
 
 

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.bench import ClosedLoopDriver, OpenLoopDriver
+from repro.bench import (
+    AggregateOpenLoopDriver,
+    ClosedLoopDriver,
+    OpenLoopDriver,
+    SessionClass,
+)
 from repro.bench.runner import default_op_factory, run_broadcast_bench
 from repro.harness import Cluster, ClusterConfig
 
@@ -100,3 +105,118 @@ def test_runner_open_loop_mode():
         3, duration=0.5, warmup=0.1, seed=137, open_loop_rate=300,
     )
     assert 0 < result.throughput < 600
+
+
+# ---------------------------------------------------------------------------
+# Aggregate session-class load
+# ---------------------------------------------------------------------------
+
+def test_session_class_validates_inputs():
+    with pytest.raises(ValueError):
+        SessionClass("bad", sessions=0, rate_per_session=1.0)
+    with pytest.raises(ValueError):
+        SessionClass("bad", sessions=1, rate_per_session=0)
+    with pytest.raises(ValueError):
+        SessionClass("bad", sessions=1, rate_per_session=1.0,
+                     read_fraction=1.5)
+    with pytest.raises(ValueError):
+        SessionClass("bad", sessions=1, rate_per_session=1.0,
+                     arrival="bursty")
+
+
+def test_aggregate_rate_is_population_times_per_session():
+    cls = SessionClass("web", sessions=1_000_000,
+                       rate_per_session=0.0004)
+    assert cls.aggregate_rate == pytest.approx(400.0)
+
+
+def test_aggregate_driver_simulates_millions_of_sessions():
+    cluster = stable_cluster(seed=140)
+    driver = AggregateOpenLoopDriver(cluster, [SessionClass(
+        "web", sessions=2_000_000, rate_per_session=0.0002,
+        read_fraction=0.5, op_size=64,
+    )]).start()
+    cluster.run(1.0)
+    driver.stop()
+    assert driver.sessions == 2_000_000
+    results = driver.results()
+    web = results["classes"]["web"]
+    # ~400 arrivals/s split evenly between reads and commits.
+    assert web["committed"] > 100
+    assert web["reads"] > 100
+    assert web["latency"]["p50"] > 0
+
+
+def test_aggregate_driver_per_class_breakdowns_are_independent():
+    cluster = stable_cluster(seed=141)
+    classes = [
+        SessionClass("readers", sessions=1000, rate_per_session=0.2,
+                     read_fraction=1.0),
+        SessionClass("writers", sessions=100, rate_per_session=1.0,
+                     read_fraction=0.0, op_size=("uniform", 32, 256)),
+    ]
+    driver = AggregateOpenLoopDriver(cluster, classes).start()
+    cluster.run(1.0)
+    driver.stop()
+    results = driver.results()
+    assert results["classes"]["readers"]["committed"] == 0
+    assert results["classes"]["readers"]["reads"] > 100
+    assert results["classes"]["writers"]["reads"] == 0
+    assert results["classes"]["writers"]["committed"] > 50
+
+
+def test_aggregate_driver_is_deterministic():
+    def run():
+        cluster = stable_cluster(seed=142)
+        driver = AggregateOpenLoopDriver(cluster, [SessionClass(
+            "mix", sessions=10_000, rate_per_session=0.03,
+            read_fraction=0.25, op_size=("uniform", 16, 64),
+        )]).start()
+        cluster.run(1.0)
+        driver.stop()
+        return driver.results()
+
+    assert run() == run()
+
+
+def test_aggregate_driver_rejects_duplicate_class_names():
+    cluster = stable_cluster(seed=143)
+    cls = SessionClass("dup", sessions=10, rate_per_session=1.0)
+    with pytest.raises(ValueError):
+        AggregateOpenLoopDriver(cluster, [cls, cls])
+    with pytest.raises(ValueError):
+        AggregateOpenLoopDriver(cluster, [])
+
+
+def test_aggregate_driver_counts_rejections_without_leader():
+    cluster = stable_cluster(seed=144)
+    cluster.crash(cluster.leader().peer_id)
+    driver = AggregateOpenLoopDriver(cluster, [SessionClass(
+        "storm", sessions=1000, rate_per_session=0.2,
+    )]).start()
+    cluster.run(0.2)
+    driver.stop()
+    assert driver.rejected > 0
+
+
+def test_runner_session_class_mode_reports_per_class_metrics():
+    from repro.bench.report import bench_metrics
+
+    result = run_broadcast_bench(
+        3, duration=0.5, warmup=0.1, seed=145,
+        session_classes=[
+            SessionClass("web", sessions=500_000,
+                         rate_per_session=0.0008, read_fraction=0.5),
+            SessionClass("batch", sessions=10, rate_per_session=10.0,
+                         arrival="fixed", op_size=512),
+        ],
+    )
+    assert result.workload is not None
+    assert result.workload["sessions"] == 500_010
+    assert set(result.workload["classes"]) == {"web", "batch"}
+    assert result.params["session_classes"][0]["name"] == "web"
+    metrics = bench_metrics(result)
+    assert metrics["workload.sessions"] == 500_010
+    assert metrics["workload.class.web.committed"] > 0
+    assert metrics["workload.class.batch.write_ops"] > 0
+    assert metrics["workload.class.web.latency.p50_ms"] > 0

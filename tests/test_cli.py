@@ -99,6 +99,37 @@ def test_campaign_command(capsys):
     assert "verdict" in out
 
 
+def test_campaign_json_report_identical_across_workers(capsys, tmp_path):
+    import json
+
+    serial = tmp_path / "serial.json"
+    parallel = tmp_path / "parallel.json"
+    assert main(["campaign", "--seeds", "2", "--steps", "3",
+                 "--json", str(serial)]) == 0
+    assert main(["campaign", "--seeds", "2", "--steps", "3",
+                 "--workers", "2", "--json", str(parallel)]) == 0
+    out = capsys.readouterr().out
+    assert "worker" in out          # attribution column in the table
+    assert serial.read_bytes() == parallel.read_bytes()
+    report = json.loads(serial.read_text())
+    assert report["schema"] == "repro-campaign/v1"
+    assert report["summary"]["passed"] == 2
+
+
+def test_explore_workers_flag_partitions_the_search(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "explore.json"
+    assert main(["explore", "--depth", "2", "--max-violations", "0",
+                 "--workers", "2", "--json", str(path),
+                 "-o", str(tmp_path / "out")]) == 0
+    out = capsys.readouterr().out
+    assert "subtree units" in out
+    summary = json.loads(path.read_text())
+    assert summary["parallel"]["units"] > 0
+    assert summary["exhausted"] is True
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
